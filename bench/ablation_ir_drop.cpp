@@ -1,0 +1,51 @@
+// ABL_IR — extension ablation: interconnect IR drop versus crossbar size.
+// Wire resistance attenuates each cell's contribution to the analog
+// read-out proportionally to its distance from the drivers, which (a)
+// shrinks far cells' effective weights and (b) erodes the fault signatures
+// the quiescent-voltage comparator relies on. This bound on practical
+// crossbar sizes is why the paper evaluates 128²…1024² arrays.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "detect/quiescent_detector.hpp"
+#include "rram/faults.hpp"
+
+using namespace refit;
+using namespace refit::bench;
+
+int main() {
+  SeriesPrinter out(std::cout, "ABL_IR wire-resistance (IR drop) impact");
+  out.paper_reference(
+      "not evaluated in the paper (ideal interconnect assumed); included "
+      "as a physical extension — detection recall collapses once far "
+      "cells' one-level signature falls below the ADC resolution");
+  out.header({"crossbar_size", "wire_ratio", "mean_attenuation_far_corner",
+              "precision", "recall"});
+
+  const std::vector<std::size_t> sizes =
+      fast_mode() ? std::vector<std::size_t>{64, 128}
+                  : std::vector<std::size_t>{64, 128, 256, 512};
+  for (const std::size_t n : sizes) {
+    for (const double ratio : {0.0, 0.0005, 0.002, 0.008}) {
+      CrossbarConfig cc;
+      cc.rows = cc.cols = n;
+      cc.levels = 8;
+      cc.write_noise_sigma = 0.01;
+      cc.wire_resistance_ratio = ratio;
+      Crossbar xb(cc, EnduranceModel::unlimited(), Rng(n + 7));
+      Rng rng(n + 11);
+      randomize_crossbar_content(xb, 0.3, 0.2, rng);
+      FaultInjectionConfig fc;
+      fc.fraction = 0.10;
+      inject_fabrication_faults(xb, fc, rng);
+
+      DetectorConfig dc;
+      dc.test_rows_per_cycle = 8;
+      const DetectionOutcome o = QuiescentVoltageDetector(dc).detect(xb);
+      const ConfusionCounts m = evaluate_detection(xb, o.predicted);
+      out.row({static_cast<double>(n), ratio,
+               xb.attenuation(n - 1, n - 1), m.precision(), m.recall()});
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,55 @@
+// ABL_MOD — ablation of §4.2's modulo-divisor trade-off: the comparator
+// reduces voltages modulo 2ⁿ to save reference-voltage hardware. Small
+// divisors alias whenever a segment holds a multiple-of-divisor number of
+// stuck cells (likely with clustered faults), reducing coverage; larger
+// divisors recover coverage at higher hardware cost (reference count).
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "detect/quiescent_detector.hpp"
+#include "rram/faults.hpp"
+
+using namespace refit;
+using namespace refit::bench;
+
+int main() {
+  SeriesPrinter out(std::cout, "ABL_MOD modulo divisor trade-off");
+  out.paper_reference(
+      "divisor 16 chosen as the coverage/hardware sweet spot; coverage "
+      "increases with the divisor (faults missed when ≥divisor faults "
+      "align in a tested segment)");
+  out.header({"divisor", "reference_voltages", "precision", "recall"});
+
+  const std::size_t n = scaled(256);
+  for (const std::size_t divisor : {4UL, 8UL, 16UL, 32UL, 64UL}) {
+    ConfusionCounts total;
+    const int seeds = 3;
+    for (int s = 0; s < seeds; ++s) {
+      CrossbarConfig cc;
+      cc.rows = n;
+      cc.cols = n;
+      cc.levels = 8;
+      cc.write_noise_sigma = 0.01;
+      Crossbar xb(cc, EnduranceModel::unlimited(),
+                  Rng(7 + static_cast<std::uint64_t>(s)));
+      Rng rng(100 + static_cast<std::uint64_t>(s));
+      randomize_crossbar_content(xb, 0.3, 0.2, rng);
+      // Dense clusters make multi-fault segments (the aliasing hazard).
+      FaultInjectionConfig fc;
+      fc.fraction = 0.20;
+      fc.spatial = SpatialDistribution::kClustered;
+      fc.clusters = 3;
+      fc.cluster_sigma_fraction = 0.05;
+      inject_fabrication_faults(xb, fc, rng);
+
+      DetectorConfig dc;
+      dc.test_rows_per_cycle = 32;
+      dc.modulo_divisor = divisor;
+      total += evaluate_detection(
+          xb, QuiescentVoltageDetector(dc).detect(xb).predicted);
+    }
+    out.row({static_cast<double>(divisor), static_cast<double>(divisor),
+             total.precision(), total.recall()});
+  }
+  return 0;
+}

@@ -1,0 +1,84 @@
+#include "bench_util.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace refit::bench {
+
+bool fast_mode() {
+  const char* v = std::getenv("REFIT_FAST");
+  return v != nullptr && v[0] == '1';
+}
+
+std::size_t scaled(std::size_t n) {
+  return fast_mode() ? std::max<std::size_t>(1, n / 4) : n;
+}
+
+Dataset cifar_like(std::size_t train, std::size_t test, std::uint64_t seed) {
+  SyntheticConfig cfg;
+  cfg.train_size = scaled(train);
+  cfg.test_size = scaled(test);
+  cfg.noise_stddev = 0.35f;
+  Rng rng(seed);
+  return make_synthetic_cifar(cfg, rng, 16);
+}
+
+Dataset mnist_like(std::size_t train, std::size_t test, std::uint64_t seed) {
+  SyntheticConfig cfg;
+  cfg.train_size = scaled(train);
+  cfg.test_size = scaled(test);
+  cfg.noise_stddev = 0.3f;
+  cfg.background_clip = 0.4f;
+  Rng rng(seed);
+  return make_synthetic_mnist(cfg, rng);
+}
+
+VggMiniConfig vgg_mini_config() {
+  return VggMiniConfig{};  // 4 conv (3×3) + 3 FC on 16×16×3, 10 classes
+}
+
+RcsConfig rcs_defaults() {
+  RcsConfig cfg;
+  cfg.tile_rows = 128;
+  cfg.tile_cols = 128;
+  cfg.levels = 8;
+  cfg.write_noise_sigma = 0.01;
+  cfg.inject_fabrication = false;
+  return cfg;
+}
+
+FtFlowConfig cnn_flow(std::size_t iterations) {
+  FtFlowConfig cfg;
+  cfg.iterations = iterations;
+  cfg.batch_size = 8;
+  cfg.lr = LrSchedule{0.03, 0.5, std::max<std::size_t>(1, iterations / 3),
+                      1e-4};
+  cfg.eval_period = std::max<std::size_t>(1, iterations / 20);
+  cfg.eval_samples = 512;
+  cfg.threshold_training = false;
+  return cfg;
+}
+
+FtFlowConfig mlp_flow(std::size_t iterations) {
+  FtFlowConfig cfg = cnn_flow(iterations);
+  cfg.lr = LrSchedule{0.05, 0.5, std::max<std::size_t>(1, iterations / 2),
+                      1e-4};
+  return cfg;
+}
+
+TrainingResult run_training(Network& net, RcsSystem* rcs, const Dataset& data,
+                            const FtFlowConfig& cfg, std::uint64_t seed) {
+  FtTrainer trainer(cfg);
+  return trainer.train(net, rcs, data, Rng(seed));
+}
+
+double accuracy_at(const TrainingResult& r, std::size_t iteration) {
+  // Last recorded evaluation at or before `iteration`.
+  double acc = 0.0;
+  for (std::size_t i = 0; i < r.eval_iterations.size(); ++i) {
+    if (r.eval_iterations[i] <= iteration) acc = r.eval_accuracy[i];
+  }
+  return acc;
+}
+
+}  // namespace refit::bench

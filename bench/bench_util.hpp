@@ -1,0 +1,57 @@
+// Shared helpers for the figure/table reproduction harnesses.
+//
+// Every bench prints CSV-style series through SeriesPrinter with a
+// `# paper:` line recording what the original reports, so output is
+// directly comparable (EXPERIMENTS.md keeps the paper-vs-measured table).
+//
+// Set REFIT_FAST=1 to shrink workloads ~4× for smoke runs.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "common/csv.hpp"
+#include "common/rng.hpp"
+#include "core/ft_trainer.hpp"
+#include "data/synthetic.hpp"
+#include "nn/models.hpp"
+#include "rcs/rcs_system.hpp"
+
+namespace refit::bench {
+
+/// True when REFIT_FAST=1 is set in the environment.
+bool fast_mode();
+
+/// `n` or `n / 4` in fast mode (minimum 1).
+std::size_t scaled(std::size_t n);
+
+/// The CIFAR-like dataset used by the CNN experiments (16×16 RGB).
+Dataset cifar_like(std::size_t train = 2048, std::size_t test = 512,
+                   std::uint64_t seed = 1);
+
+/// The MNIST-like dataset used by the MLP experiments ([N, 784]).
+Dataset mnist_like(std::size_t train = 2048, std::size_t test = 512,
+                   std::uint64_t seed = 1);
+
+/// The paper's VGG-11 scaled to our 16×16 input (DESIGN.md §4).
+VggMiniConfig vgg_mini_config();
+
+/// Per-paper RCS defaults: 128×128 tiles, 8-level cells.
+RcsConfig rcs_defaults();
+
+/// Baseline training schedule for the CNN experiments.
+FtFlowConfig cnn_flow(std::size_t iterations);
+
+/// Baseline training schedule for MLP experiments.
+FtFlowConfig mlp_flow(std::size_t iterations);
+
+/// Run one training configuration and return the result. `rcs` may be
+/// null for the software-ideal baseline.
+TrainingResult run_training(Network& net, RcsSystem* rcs, const Dataset& data,
+                            const FtFlowConfig& cfg, std::uint64_t seed);
+
+/// Interpolate a training curve onto fixed iteration grid points so that
+/// several runs can be printed side by side.
+double accuracy_at(const TrainingResult& r, std::size_t iteration);
+
+}  // namespace refit::bench

@@ -1,0 +1,81 @@
+// FIG7B — reproduction of Fig. 7(b), the FC-only case: Conv layers stay in
+// software, the three FC layers live on an RCS that has already been
+// trained many times — modeled as ~50 % initial hard faults with high
+// remaining endurance.
+//
+// Paper's shape: ideal 85.2 %; original on-line training peaks at ~63 %;
+// threshold training has negligible extra benefit (it only prevents *new*
+// faults); the full flow (detection + pruning + re-mapping) recovers to
+// ~76 %.
+#include <iostream>
+
+#include "bench_util.hpp"
+
+using namespace refit;
+using namespace refit::bench;
+
+int main() {
+  const std::size_t iters = scaled(1200);
+  const Dataset data = cifar_like();
+  const VggMiniConfig vc = vgg_mini_config();
+
+  RcsConfig rc = rcs_defaults();
+  rc.inject_fabrication = true;
+  rc.fabrication.fraction = 0.50;
+  // High-endurance cells: wear-out is not the binding constraint here.
+  rc.endurance = EnduranceModel::gaussian(20.0 * static_cast<double>(iters),
+                                          6.0 * static_cast<double>(iters));
+
+  auto run_case = [&](bool threshold, bool ft) {
+    FtFlowConfig cfg = cnn_flow(iters);
+    cfg.threshold_training = threshold;
+    if (ft) {
+      cfg.detection_enabled = true;
+      cfg.detection_period = iters / 6;
+      cfg.prune.enabled = true;
+      cfg.prune.fc_sparsity = 0.3;
+      cfg.prune.conv_sparsity = 0.0;
+      cfg.remap_enabled = true;
+      cfg.remap.algorithm = RemapAlgorithm::kHungarian;
+    }
+    Rng rng(2);
+    RcsSystem sys(rc, Rng(42));
+    Network net = make_vgg_mini(vc, software_store_factory(), sys.factory(),
+                                rng);
+    return run_training(net, &sys, data, cfg, 3);
+  };
+
+  Rng rng(2);
+  Network ideal_net = make_vgg_mini(vc, software_store_factory(),
+                                    software_store_factory(), rng);
+  const TrainingResult ideal =
+      run_training(ideal_net, nullptr, data, cnn_flow(iters), 3);
+  const TrainingResult original = run_case(false, false);
+  const TrainingResult threshold = run_case(true, false);
+  const TrainingResult full = run_case(true, true);
+
+  SeriesPrinter out(std::cout, "FIG7B FC-only fault-tolerant training");
+  out.paper_reference(
+      "ideal 85.2%; original peaks ~63%; threshold training ~matches the "
+      "original (negligible impact on pre-existing faults); the full FT "
+      "flow recovers to ~76%");
+  out.header({"iteration", "ideal", "original", "threshold", "full_ft"});
+  for (std::size_t it : ideal.eval_iterations) {
+    out.row({static_cast<double>(it), accuracy_at(ideal, it),
+             accuracy_at(original, it), accuracy_at(threshold, it),
+             accuracy_at(full, it)});
+  }
+  out.comment("peaks: ideal=" + format_double(ideal.peak_accuracy) +
+              " original=" + format_double(original.peak_accuracy) +
+              " threshold=" + format_double(threshold.peak_accuracy) +
+              " full=" + format_double(full.peak_accuracy));
+  if (!full.phases.empty()) {
+    out.comment("first detection phase: precision=" +
+                format_double(full.phases.front().precision) +
+                " recall=" + format_double(full.phases.front().recall) +
+                " cycles=" +
+                format_double(
+                    static_cast<double>(full.phases.front().cycles)));
+  }
+  return 0;
+}

@@ -1,0 +1,61 @@
+// TAB_MARCH — the paper's §1/§2.2 comparison against traditional
+// March-style testing: per-cell testing achieves perfect accuracy but its
+// test time grows with the *cell count* (quadratic in the crossbar side),
+// while the quiescent-voltage comparison method scales with the row count
+// and stays accurate enough for the training flow. March testing also
+// consumes several endurance-relevant write pulses per healthy cell.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "detect/march_test.hpp"
+#include "detect/quiescent_detector.hpp"
+#include "rram/faults.hpp"
+
+using namespace refit;
+using namespace refit::bench;
+
+int main() {
+  SeriesPrinter out(std::cout, "TAB_MARCH march vs quiescent-voltage test");
+  out.paper_reference(
+      "traditional test time increases quadratically with the crossbar "
+      "rows (refs [9][12]), which makes it unusable for on-line testing; "
+      "the quiescent-voltage method scales linearly");
+  out.header({"crossbar_size", "march_cycles", "march_writes",
+              "march_precision", "march_recall", "qvc_cycles", "qvc_writes",
+              "qvc_precision", "qvc_recall"});
+
+  const std::vector<std::size_t> sizes =
+      fast_mode() ? std::vector<std::size_t>{64, 128}
+                  : std::vector<std::size_t>{64, 128, 256, 512};
+  for (const std::size_t n : sizes) {
+    CrossbarConfig cc;
+    cc.rows = cc.cols = n;
+    cc.levels = 8;
+    cc.write_noise_sigma = 0.01;
+    Crossbar a(cc, EnduranceModel::unlimited(), Rng(n));
+    Crossbar b(cc, EnduranceModel::unlimited(), Rng(n));
+    Rng r1(100 + n), r2(100 + n);
+    randomize_crossbar_content(a, 0.3, 0.2, r1);
+    randomize_crossbar_content(b, 0.3, 0.2, r2);
+    FaultInjectionConfig fc;
+    fc.fraction = 0.10;
+    Rng f1(200 + n), f2(200 + n);
+    inject_fabrication_faults(a, fc, f1);
+    inject_fabrication_faults(b, fc, f2);
+
+    const MarchOutcome march = march_test(a);
+    const ConfusionCounts mc = evaluate_detection(a, march.predicted);
+
+    DetectorConfig dc;
+    dc.test_rows_per_cycle = 8;
+    const DetectionOutcome qvc = QuiescentVoltageDetector(dc).detect(b);
+    const ConfusionCounts qc = evaluate_detection(b, qvc.predicted);
+
+    out.row({static_cast<double>(n), static_cast<double>(march.cycles),
+             static_cast<double>(march.device_writes), mc.precision(),
+             mc.recall(), static_cast<double>(qvc.cycles),
+             static_cast<double>(qvc.device_writes), qc.precision(),
+             qc.recall()});
+  }
+  return 0;
+}

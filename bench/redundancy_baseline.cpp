@@ -1,0 +1,53 @@
+// TAB_REDUND — the paper's §1 argument against traditional redundancy:
+// because the RCS compute unit is an entire column, a single stuck cell
+// condemns the column; at realistic fault rates virtually every column is
+// condemned, and spare columns (from the same process) are rarely clean.
+// This table sweeps the cell fault rate and the spare budget and reports
+// the residual faulty-column fraction after repair.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "rram/column_repair.hpp"
+#include "rram/faults.hpp"
+
+using namespace refit;
+using namespace refit::bench;
+
+int main() {
+  SeriesPrinter out(std::cout, "TAB_REDUND redundant-column repair baseline");
+  out.paper_reference(
+      "traditional redundancy-based methods cannot target RCS hard faults: "
+      "the basic unit is an entire column, and redundant columns may also "
+      "contain (and give rise to) hard faults (sec 1)");
+  out.header({"cell_fault_fraction", "spare_columns",
+              "faulty_column_fraction", "usable_spares",
+              "residual_faulty_column_fraction"});
+
+  const std::size_t n = scaled(128);
+  for (const double fault : {0.001, 0.005, 0.02, 0.10}) {
+    for (const std::size_t spares : {8UL, 32UL, 128UL}) {
+      double faulty_frac = 0.0, usable = 0.0, residual = 0.0;
+      const int seeds = 3;
+      for (int s = 0; s < seeds; ++s) {
+        CrossbarConfig cc;
+        cc.rows = cc.cols = n;
+        Crossbar xb(cc, EnduranceModel::unlimited(),
+                    Rng(13 + static_cast<std::uint64_t>(s)));
+        FaultInjectionConfig fc;
+        fc.fraction = fault;
+        Rng rng(100 + static_cast<std::uint64_t>(s));
+        inject_fabrication_faults(xb, fc, rng);
+        Rng rrng(200 + static_cast<std::uint64_t>(s));
+        const RepairOutcome o =
+            simulate_column_repair(xb, spares, fault, rrng);
+        faulty_frac += static_cast<double>(o.faulty_columns) /
+                       static_cast<double>(o.total_columns) / seeds;
+        usable += static_cast<double>(o.usable_spares) / seeds;
+        residual += o.residual_column_fraction() / seeds;
+      }
+      out.row({fault, static_cast<double>(spares), faulty_frac, usable,
+               residual});
+    }
+  }
+  return 0;
+}

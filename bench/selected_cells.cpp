@@ -1,0 +1,57 @@
+// TAB_SEL — reproduction of §6.3's selected-cell comparison: with Gaussian
+// (clustered) faults, 10 % of cells faulty and ~30 % in the high-resistance
+// state, testing only the plausible cells raises precision from ~50 % to
+// ~77 % while recall stays above 90 %, at similar (or lower) test time.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "detect/quiescent_detector.hpp"
+#include "rram/faults.hpp"
+
+using namespace refit;
+using namespace refit::bench;
+
+int main() {
+  SeriesPrinter out(std::cout, "TAB_SEL selected-cell testing (sec 6.3)");
+  out.paper_reference(
+      "precision rises from ~50% (all cells) to ~77% (selected cells); "
+      "recall of both methods stays above 90%");
+  out.header({"mode_selected", "test_size", "test_cycles", "cells_tested",
+              "precision", "recall"});
+
+  const std::size_t n = scaled(512);
+  for (const bool selected : {false, true}) {
+    for (const std::size_t tr : {32UL, 16UL, 8UL}) {
+      ConfusionCounts total;
+      double cycles = 0.0, tested = 0.0;
+      const int seeds = 3;
+      for (int s = 0; s < seeds; ++s) {
+        CrossbarConfig cc;
+        cc.rows = n;
+        cc.cols = n;
+        cc.levels = 8;
+        cc.write_noise_sigma = 0.01;
+        Crossbar xb(cc, EnduranceModel::unlimited(),
+                    Rng(7 + static_cast<std::uint64_t>(s)));
+        Rng rng(100 + static_cast<std::uint64_t>(s));
+        randomize_crossbar_content(xb, 0.3, 0.2, rng);
+        FaultInjectionConfig fc;
+        fc.fraction = 0.10;
+        fc.spatial = SpatialDistribution::kClustered;
+        fc.clusters = 4;
+        inject_fabrication_faults(xb, fc, rng);
+
+        DetectorConfig dc;
+        dc.test_rows_per_cycle = tr;
+        dc.selected_cells_only = selected;
+        const DetectionOutcome o = QuiescentVoltageDetector(dc).detect(xb);
+        total += evaluate_detection(xb, o.predicted);
+        cycles += static_cast<double>(o.cycles) / seeds;
+        tested += static_cast<double>(o.cells_tested) / seeds;
+      }
+      out.row({selected ? 1.0 : 0.0, static_cast<double>(tr), cycles, tested,
+               total.precision(), total.recall()});
+    }
+  }
+  return 0;
+}

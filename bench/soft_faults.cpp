@@ -1,0 +1,73 @@
+// TAB_SOFT — the paper's §1/§2.2 motivation (after Prezioso et al. [7]):
+// *on-line* training tolerates soft faults (write variation, quantization)
+// because the network learns through the actual hardware, while *off-line*
+// training — train in software, then program the trained weights onto the
+// array once — accumulates uncompensated mapping error. This bench sweeps
+// the analog write-noise level and compares both deployment styles.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "nn/network_io.hpp"
+
+#include <sstream>
+
+using namespace refit;
+using namespace refit::bench;
+
+int main() {
+  const std::size_t iters = scaled(1200);
+  const Dataset data = mnist_like();
+
+  SeriesPrinter out(std::cout, "TAB_SOFT on-line vs off-line under soft faults");
+  out.paper_reference(
+      "on-line training tolerates soft faults via the algorithm's inherent "
+      "fault tolerance (sec 1, ref [7]); off-line mapping suffers the full "
+      "variation error");
+  out.header({"write_noise_sigma", "levels", "offline_accuracy",
+              "online_accuracy"});
+
+  FtFlowConfig cfg = mlp_flow(iters);
+  cfg.batch_size = 8;
+
+  // One software-trained reference network, shared by every offline case.
+  Rng sw_rng(2);
+  Network sw_net = make_mlp({784, 24, 10}, software_store_factory(), sw_rng);
+  run_training(sw_net, nullptr, data, cfg, 3);
+  std::stringstream weights;
+  save_network_weights(sw_net, weights);
+
+  // A capacity-tight MLP: over-provisioned networks mask the effect (both
+  // styles saturate), which is itself part of the story.
+  const struct {
+    double sigma;
+    std::size_t levels;
+  } cases[] = {{0.0, 8}, {0.03, 8}, {0.08, 8}, {0.05, 4}, {0.05, 2}};
+
+  for (const auto& c : cases) {
+    RcsConfig rc = rcs_defaults();
+    rc.write_noise_sigma = c.sigma;
+    rc.levels = c.levels;
+
+    // Off-line: program the software-trained weights once and evaluate.
+    double offline = 0.0;
+    {
+      RcsSystem sys(rc, Rng(42));
+      Rng rng(2);
+      Network net = make_mlp({784, 24, 10}, sys.factory(), rng);
+      std::stringstream ws(weights.str());
+      load_network_weights(net, ws);
+      offline = net.evaluate(data.test_images, data.test_labels);
+    }
+
+    // On-line: train through the noisy hardware.
+    double online = 0.0;
+    {
+      RcsSystem sys(rc, Rng(42));
+      Rng rng(2);
+      Network net = make_mlp({784, 24, 10}, sys.factory(), rng);
+      online = run_training(net, &sys, data, cfg, 3).peak_accuracy;
+    }
+    out.row({c.sigma, static_cast<double>(c.levels), offline, online});
+  }
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Lightweight precondition / invariant checking for the REFIT library.
+//
+// REFIT_CHECK is always on (simulation correctness beats the tiny branch
+// cost); REFIT_DCHECK compiles away in NDEBUG builds and is meant for hot
+// inner loops.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace refit {
+
+/// Exception thrown on violated preconditions and invariants.
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "REFIT_CHECK failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckError(os.str());
+}
+}  // namespace detail
+
+}  // namespace refit
+
+#define REFIT_CHECK(expr)                                               \
+  do {                                                                  \
+    if (!(expr))                                                        \
+      ::refit::detail::check_failed(#expr, __FILE__, __LINE__, "");     \
+  } while (0)
+
+#define REFIT_CHECK_MSG(expr, msg)                                      \
+  do {                                                                  \
+    if (!(expr)) {                                                      \
+      std::ostringstream refit_os_;                                     \
+      refit_os_ << msg;                                                 \
+      ::refit::detail::check_failed(#expr, __FILE__, __LINE__,          \
+                                    refit_os_.str());                   \
+    }                                                                   \
+  } while (0)
+
+#ifdef NDEBUG
+#define REFIT_DCHECK(expr) ((void)0)
+#else
+#define REFIT_DCHECK(expr) REFIT_CHECK(expr)
+#endif

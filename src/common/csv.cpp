@@ -1,0 +1,62 @@
+#include "common/csv.hpp"
+
+#include <iomanip>
+#include <sstream>
+#include <utility>
+
+namespace refit {
+
+SeriesPrinter::SeriesPrinter(std::ostream& os, std::string experiment_id)
+    : os_(os), id_(std::move(experiment_id)) {
+  os_ << "# experiment: " << id_ << "\n";
+}
+
+void SeriesPrinter::paper_reference(const std::string& text) {
+  os_ << "# paper: " << text << "\n";
+}
+
+void SeriesPrinter::comment(const std::string& text) {
+  os_ << "# " << text << "\n";
+}
+
+void SeriesPrinter::header(std::initializer_list<std::string> columns) {
+  os_ << "# columns: ";
+  bool first = true;
+  for (const auto& c : columns) {
+    if (!first) os_ << ",";
+    os_ << c;
+    first = false;
+  }
+  os_ << "\n";
+}
+
+void SeriesPrinter::row(const std::vector<double>& values) {
+  bool first = true;
+  for (double v : values) {
+    if (!first) os_ << ",";
+    os_ << format_double(v);
+    first = false;
+  }
+  os_ << "\n";
+}
+
+void SeriesPrinter::row(const std::string& label,
+                        const std::vector<double>& values) {
+  os_ << label;
+  for (double v : values) os_ << "," << format_double(v);
+  os_ << "\n";
+}
+
+std::string format_double(double v, int decimals) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(decimals) << v;
+  std::string s = os.str();
+  // Trim trailing zeros but keep at least one digit after the point.
+  if (s.find('.') != std::string::npos) {
+    while (s.size() > 1 && s.back() == '0') s.pop_back();
+    if (s.back() == '.') s.push_back('0');
+  }
+  return s;
+}
+
+}  // namespace refit

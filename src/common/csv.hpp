@@ -1,0 +1,40 @@
+// CSV-style series output used by the benchmark harness.
+//
+// Every figure/table reproduction prints its data through a SeriesPrinter so
+// the output is grep-able and directly comparable against the paper's
+// reported series (EXPERIMENTS.md records both).
+#pragma once
+
+#include <initializer_list>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace refit {
+
+/// Prints rows as `name,val1,val2,...` with a leading header and optional
+/// `# paper: ...` reference comments.
+class SeriesPrinter {
+ public:
+  SeriesPrinter(std::ostream& os, std::string experiment_id);
+
+  /// Emit a `# paper: ...` comment recording what the paper reports.
+  void paper_reference(const std::string& text);
+  /// Emit a free-form comment line.
+  void comment(const std::string& text);
+  /// Emit the column header (`# columns: a,b,c`).
+  void header(std::initializer_list<std::string> columns);
+  /// Emit one data row; doubles are printed with 4 significant decimals.
+  void row(const std::vector<double>& values);
+  /// Emit one data row with a leading string label.
+  void row(const std::string& label, const std::vector<double>& values);
+
+ private:
+  std::ostream& os_;
+  std::string id_;
+};
+
+/// Format a double with fixed precision (helper shared with log output).
+std::string format_double(double v, int decimals = 4);
+
+}  // namespace refit

@@ -1,0 +1,34 @@
+#include "common/log.hpp"
+
+#include <iostream>
+
+namespace refit {
+
+namespace {
+LogLevel g_level = LogLevel::kInfo;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level = level; }
+LogLevel log_level() { return g_level; }
+
+namespace detail {
+void log_line(LogLevel level, const std::string& msg) {
+  std::cerr << "[" << level_name(level) << "] " << msg << "\n";
+}
+}  // namespace detail
+
+}  // namespace refit

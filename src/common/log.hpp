@@ -1,0 +1,38 @@
+// Minimal leveled logger for the simulator and the experiment harness.
+//
+// Experiments print their data through SeriesPrinter; the logger is for
+// progress/diagnostic lines and defaults to kInfo on stderr so data on
+// stdout stays clean.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace refit {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Set the global minimum level (thread-unsafe by design: set once at start).
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+namespace detail {
+void log_line(LogLevel level, const std::string& msg);
+}
+
+}  // namespace refit
+
+#define REFIT_LOG(level, msg)                                       \
+  do {                                                              \
+    if (static_cast<int>(level) >=                                  \
+        static_cast<int>(::refit::log_level())) {                   \
+      std::ostringstream refit_log_os_;                             \
+      refit_log_os_ << msg;                                         \
+      ::refit::detail::log_line(level, refit_log_os_.str());        \
+    }                                                               \
+  } while (0)
+
+#define REFIT_DEBUG(msg) REFIT_LOG(::refit::LogLevel::kDebug, msg)
+#define REFIT_INFO(msg) REFIT_LOG(::refit::LogLevel::kInfo, msg)
+#define REFIT_WARN(msg) REFIT_LOG(::refit::LogLevel::kWarn, msg)
+#define REFIT_ERROR(msg) REFIT_LOG(::refit::LogLevel::kError, msg)

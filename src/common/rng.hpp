@@ -1,0 +1,79 @@
+// Deterministic, splittable pseudo-random number generation.
+//
+// All stochastic components of the simulator (weight init, fault injection,
+// write variation, dataset synthesis, search heuristics) draw from an Rng so
+// every experiment is reproducible from a single seed. The generator is
+// xoshiro256**, seeded through SplitMix64 so that nearby integer seeds give
+// statistically independent streams.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace refit {
+
+/// xoshiro256** PRNG with convenience distributions.
+///
+/// Satisfies the subset of UniformRandomBitGenerator we need, but the
+/// distribution helpers below are hand-rolled so results are identical
+/// across standard libraries.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Derive an independent child stream; `salt` distinguishes siblings.
+  [[nodiscard]] Rng split(std::uint64_t salt) const;
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+  result_type operator()() { return next_u64(); }
+
+  std::uint64_t next_u64();
+
+  /// Uniform in [0, 1).
+  double uniform();
+  /// Uniform in [lo, hi).
+  double uniform(double lo, double hi);
+  /// Uniform integer in [0, n). Requires n > 0.
+  std::uint64_t uniform_index(std::uint64_t n);
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+  /// Standard normal via Box–Muller (cached second variate).
+  double normal();
+  /// Normal with given mean / standard deviation.
+  double normal(double mean, double stddev);
+  /// Bernoulli trial.
+  bool bernoulli(double p);
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const std::size_t j = static_cast<std::size_t>(uniform_index(i));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// k distinct indices sampled uniformly from [0, n) (reservoir sampling).
+  std::vector<std::size_t> sample_indices(std::size_t n, std::size_t k);
+
+  /// Full generator state, for checkpointing (4 words of xoshiro state +
+  /// the Box–Muller cache).
+  struct State {
+    std::uint64_t s[4];
+    double cached_normal;
+    bool has_cached_normal;
+  };
+  [[nodiscard]] State state() const;
+  void set_state(const State& st);
+
+ private:
+  std::uint64_t s_[4];
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+}  // namespace refit

@@ -1,0 +1,46 @@
+#include "core/energy.hpp"
+
+namespace refit {
+
+namespace {
+constexpr double kPjToNj = 1e-3;
+}
+
+EnergyEstimate detection_energy(const EnergyModel& m,
+                                const DetectionOutcome& outcome,
+                                std::size_t rows, std::size_t cols) {
+  EnergyEstimate e;
+  // Two fault-type passes each begin with a full-array read (store
+  // off-chip), plus the pulse writes counted in the outcome.
+  e.read_nj = 2.0 * static_cast<double>(rows * cols) * m.read_pj * kPjToNj;
+  e.write_nj =
+      static_cast<double>(outcome.device_writes) * m.write_pj * kPjToNj;
+  // Each cycle reads all column (or row) outputs concurrently: one ADC
+  // sample per output port. Approximate ports by max(rows, cols).
+  const double ports = static_cast<double>(rows > cols ? rows : cols);
+  e.adc_nj = static_cast<double>(outcome.cycles) * ports * m.adc_sample_pj *
+             kPjToNj;
+  return e;
+}
+
+EnergyEstimate march_energy(const EnergyModel& m,
+                            const MarchOutcome& outcome) {
+  EnergyEstimate e;
+  e.write_nj =
+      static_cast<double>(outcome.device_writes) * m.write_pj * kPjToNj;
+  // Remaining cycles are single-cell reads.
+  const double reads = static_cast<double>(outcome.cycles) -
+                       static_cast<double>(outcome.device_writes);
+  e.read_nj = (reads > 0 ? reads : 0.0) * m.read_pj * kPjToNj;
+  return e;
+}
+
+EnergyEstimate training_write_energy(const EnergyModel& m,
+                                     const TrainingResult& result) {
+  EnergyEstimate e;
+  e.write_nj =
+      static_cast<double>(result.device_writes) * m.write_pj * kPjToNj;
+  return e;
+}
+
+}  // namespace refit

@@ -1,0 +1,104 @@
+#include "core/prune.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+namespace refit {
+
+PruneState PruneState::compute(Network& net, const PruneConfig& cfg) {
+  PruneState state;
+  if (!cfg.enabled) return state;
+  for (MatrixLayer* ml : net.matrix_layers()) {
+    const double sparsity =
+        std::string(ml->kind()) == "conv" ? cfg.conv_sparsity
+                                          : cfg.fc_sparsity;
+    if (sparsity <= 0.0) continue;
+    REFIT_CHECK_MSG(sparsity < 1.0, "sparsity must be < 1");
+    const Tensor& w = ml->weights().target();
+    const std::size_t rows = w.dim(0), cols = w.dim(1);
+    const std::size_t n = rows * cols;
+    // Threshold at the sparsity-quantile of |w|.
+    std::vector<float> mags(n);
+    for (std::size_t i = 0; i < n; ++i) mags[i] = std::fabs(w[i]);
+    const auto k = static_cast<std::size_t>(
+        std::min<double>(static_cast<double>(n - 1),
+                         sparsity * static_cast<double>(n)));
+    std::vector<float> sorted = mags;
+    std::nth_element(sorted.begin(),
+                     sorted.begin() + static_cast<std::ptrdiff_t>(k),
+                     sorted.end());
+    const float cut = sorted[k];
+    PruneMask mask;
+    mask.rows = rows;
+    mask.cols = cols;
+    mask.pruned.assign(n, false);
+    std::size_t pruned = 0;
+    for (std::size_t i = 0; i < n && pruned < k; ++i) {
+      if (mags[i] < cut) {
+        mask.pruned[i] = true;
+        ++pruned;
+      }
+    }
+    // Fill up to exactly k with entries equal to the cut (ties).
+    for (std::size_t i = 0; i < n && pruned < k; ++i) {
+      if (!mask.pruned[i] && mags[i] == cut) {
+        mask.pruned[i] = true;
+        ++pruned;
+      }
+    }
+    state.masks_.emplace(&ml->weights(), std::move(mask));
+  }
+  return state;
+}
+
+const PruneMask* PruneState::mask_for(const WeightStore* store) const {
+  const auto it = masks_.find(store);
+  return it == masks_.end() ? nullptr : &it->second;
+}
+
+void PruneState::apply_to(Network& net) const {
+  for (MatrixLayer* ml : net.matrix_layers()) {
+    const PruneMask* mask = mask_for(&ml->weights());
+    if (mask == nullptr) continue;
+    Tensor w = ml->weights().target();
+    bool changed = false;
+    for (std::size_t i = 0; i < w.numel(); ++i) {
+      if (mask->pruned[i] && w[i] != 0.0f) {
+        w[i] = 0.0f;
+        changed = true;
+      }
+    }
+    if (changed) ml->weights().assign(w);
+  }
+}
+
+void PruneState::mask_delta(const WeightStore* store, Tensor& delta) const {
+  const PruneMask* mask = mask_for(store);
+  if (mask == nullptr) return;
+  REFIT_CHECK(delta.numel() == mask->pruned.size());
+  for (std::size_t i = 0; i < delta.numel(); ++i) {
+    if (mask->pruned[i]) delta[i] = 0.0f;
+  }
+}
+
+void PruneState::merge_mask(const WeightStore* store, const PruneMask& mask) {
+  auto it = masks_.find(store);
+  if (it == masks_.end()) {
+    masks_.emplace(store, mask);
+    return;
+  }
+  PruneMask& existing = it->second;
+  REFIT_CHECK(existing.pruned.size() == mask.pruned.size());
+  for (std::size_t i = 0; i < mask.pruned.size(); ++i) {
+    if (mask.pruned[i]) existing.pruned[i] = true;
+  }
+}
+
+std::size_t PruneState::total_pruned() const {
+  std::size_t n = 0;
+  for (const auto& [store, mask] : masks_) n += mask.count_pruned();
+  return n;
+}
+
+}  // namespace refit

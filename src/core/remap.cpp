@@ -1,0 +1,407 @@
+#include "core/remap.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "common/rng.hpp"
+#include "rcs/crossbar_store.hpp"
+
+namespace refit {
+
+namespace {
+
+/// Collision penalty of one (weight, cell) pair under a cost model.
+double cell_cost(bool pruned, FaultKind fault, RemapCostModel model) {
+  if (fault == FaultKind::kNone) return 0.0;
+  if (model == RemapCostModel::kPaperExact) {
+    return pruned ? 0.0 : 1.0;
+  }
+  // kPhysical
+  if (fault == FaultKind::kStuckAt0) return pruned ? 0.0 : 2.0;
+  // kStuckAt1: a pruned weight would read ±w_max (worst case); an unpruned
+  // one is merely distorted.
+  return pruned ? 2.0 : 1.0;
+}
+
+std::vector<std::size_t> identity_perm(std::size_t n) {
+  std::vector<std::size_t> p(n);
+  std::iota(p.begin(), p.end(), 0);
+  return p;
+}
+
+/// Current placement of the interface's neurons (from the producer's
+/// column permutation when it is on crossbars, else the consumer's blocks).
+std::vector<std::size_t> current_assignment(const RemapInterface& iface) {
+  if (const auto* xp = dynamic_cast<const CrossbarWeightStore*>(
+          &iface.producer->weights())) {
+    return xp->col_perm();
+  }
+  if (const auto* xc = dynamic_cast<const CrossbarWeightStore*>(
+          &iface.consumer->weights())) {
+    const std::size_t b = iface.consumer->rows_per_in_neuron();
+    std::vector<std::size_t> perm(iface.neurons);
+    for (std::size_t j = 0; j < iface.neurons; ++j) {
+      perm[j] = xc->row_perm()[j * b] / b;
+    }
+    return perm;
+  }
+  return identity_perm(iface.neurons);
+}
+
+}  // namespace
+
+std::vector<RemapInterface> find_remap_interfaces(Network& net) {
+  std::vector<RemapInterface> out;
+  const auto layers = net.matrix_layers();
+  for (std::size_t i = 0; i + 1 < layers.size(); ++i) {
+    MatrixLayer* prod = layers[i];
+    MatrixLayer* cons = layers[i + 1];
+    if (prod->out_neurons() != cons->in_neurons()) continue;  // e.g. flatten
+    const std::size_t b = cons->rows_per_in_neuron();
+    if (cons->weights().shape()[0] != cons->in_neurons() * b) continue;
+    const bool any_crossbar =
+        dynamic_cast<CrossbarWeightStore*>(&prod->weights()) != nullptr ||
+        dynamic_cast<CrossbarWeightStore*>(&cons->weights()) != nullptr;
+    if (!any_crossbar) continue;
+    out.push_back(RemapInterface{prod, cons, prod->out_neurons()});
+  }
+  return out;
+}
+
+double InterfaceCost::total(const std::vector<std::size_t>& perm) const {
+  REFIT_CHECK(perm.size() == m_);
+  double s = 0.0;
+  for (std::size_t j = 0; j < m_; ++j) s += at(j, perm[j]);
+  return s;
+}
+
+InterfaceCost build_interface_cost(const RemapInterface& iface,
+                                   const DetectedFaults& detected,
+                                   const PruneState& prune,
+                                   RemapCostModel model) {
+  const std::size_t m = iface.neurons;
+  InterfaceCost cost(m);
+
+  // Producer side: logical column j placed at physical column p.
+  if (const auto* xp = dynamic_cast<const CrossbarWeightStore*>(
+          &iface.producer->weights())) {
+    const auto it = detected.find(&iface.producer->weights());
+    const FaultMatrix* fm =
+        (it != detected.end() && !it->second.empty()) ? &it->second : nullptr;
+    if (fm != nullptr) {
+      const PruneMask* mask = prune.mask_for(&iface.producer->weights());
+      const std::size_t rows = xp->rows();
+      const auto& row_perm = xp->row_perm();
+      for (std::size_t p = 0; p < m; ++p) {
+        // Collect the faulty physical rows of column p once.
+        std::vector<std::pair<std::size_t, FaultKind>> faulty_rows;
+        for (std::size_t i = 0; i < rows; ++i) {
+          const FaultKind k = fm->at(row_perm[i], p);
+          if (k != FaultKind::kNone) faulty_rows.emplace_back(i, k);
+        }
+        if (faulty_rows.empty()) continue;
+        for (std::size_t j = 0; j < m; ++j) {
+          double c = 0.0;
+          for (const auto& [i, k] : faulty_rows) {
+            const bool pruned = mask != nullptr && mask->at(i, j);
+            c += cell_cost(pruned, k, model);
+          }
+          cost.add(j, p, c);
+        }
+      }
+    }
+  }
+
+  // Consumer side: logical row-block j placed at physical block p.
+  if (const auto* xc = dynamic_cast<const CrossbarWeightStore*>(
+          &iface.consumer->weights())) {
+    const auto it = detected.find(&iface.consumer->weights());
+    const FaultMatrix* fm =
+        (it != detected.end() && !it->second.empty()) ? &it->second : nullptr;
+    if (fm != nullptr) {
+      const PruneMask* mask = prune.mask_for(&iface.consumer->weights());
+      const std::size_t b = iface.consumer->rows_per_in_neuron();
+      const std::size_t cols = xc->cols();
+      const auto& col_perm = xc->col_perm();
+      for (std::size_t p = 0; p < m; ++p) {
+        std::vector<std::pair<std::size_t, FaultKind>> faulty;  // (flat b*cols+c)
+        for (std::size_t bb = 0; bb < b; ++bb) {
+          for (std::size_t c = 0; c < cols; ++c) {
+            const FaultKind k = fm->at(p * b + bb, col_perm[c]);
+            if (k != FaultKind::kNone) faulty.emplace_back(bb * cols + c, k);
+          }
+        }
+        if (faulty.empty()) continue;
+        for (std::size_t j = 0; j < m; ++j) {
+          double csum = 0.0;
+          for (const auto& [flat, k] : faulty) {
+            const std::size_t bb = flat / cols;
+            const std::size_t c = flat % cols;
+            const bool pruned = mask != nullptr && mask->at(j * b + bb, c);
+            csum += cell_cost(pruned, k, model);
+          }
+          cost.add(j, p, csum);
+        }
+      }
+    }
+  }
+  return cost;
+}
+
+std::vector<std::size_t> hungarian_assignment(const InterfaceCost& cost) {
+  // Kuhn-Munkres with potentials, O(n³) (e-maxx formulation, 1-indexed).
+  const std::size_t n = cost.size();
+  const double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> u(n + 1, 0.0), v(n + 1, 0.0);
+  std::vector<std::size_t> p(n + 1, 0), way(n + 1, 0);
+  for (std::size_t i = 1; i <= n; ++i) {
+    p[0] = i;
+    std::size_t j0 = 0;
+    std::vector<double> minv(n + 1, kInf);
+    std::vector<bool> used(n + 1, false);
+    do {
+      used[j0] = true;
+      const std::size_t i0 = p[j0];
+      double delta = kInf;
+      std::size_t j1 = 0;
+      for (std::size_t j = 1; j <= n; ++j) {
+        if (used[j]) continue;
+        const double cur = cost.at(i0 - 1, j - 1) - u[i0] - v[j];
+        if (cur < minv[j]) {
+          minv[j] = cur;
+          way[j] = j0;
+        }
+        if (minv[j] < delta) {
+          delta = minv[j];
+          j1 = j;
+        }
+      }
+      for (std::size_t j = 0; j <= n; ++j) {
+        if (used[j]) {
+          u[p[j]] += delta;
+          v[j] -= delta;
+        } else {
+          minv[j] -= delta;
+        }
+      }
+      j0 = j1;
+    } while (p[j0] != 0);
+    do {
+      const std::size_t j1 = way[j0];
+      p[j0] = p[j1];
+      j0 = j1;
+    } while (j0 != 0);
+  }
+  std::vector<std::size_t> perm(n, 0);
+  for (std::size_t j = 1; j <= n; ++j) {
+    if (p[j] != 0) perm[p[j] - 1] = j - 1;
+  }
+  return perm;
+}
+
+namespace {
+
+std::vector<std::size_t> greedy_swap(const InterfaceCost& cost,
+                                     const RemapConfig& cfg, Rng& rng) {
+  const std::size_t m = cost.size();
+  std::vector<std::size_t> perm = identity_perm(m);
+  if (m < 2) return perm;
+  const std::size_t trials = cfg.greedy_trials_per_neuron * m;
+  for (std::size_t t = 0; t < trials; ++t) {
+    const std::size_t a = rng.uniform_index(m);
+    std::size_t b = rng.uniform_index(m - 1);
+    if (b >= a) ++b;
+    const double before = cost.at(a, perm[a]) + cost.at(b, perm[b]);
+    const double after = cost.at(a, perm[b]) + cost.at(b, perm[a]);
+    if (after < before) std::swap(perm[a], perm[b]);
+  }
+  return perm;
+}
+
+/// Order crossover (OX) for permutations.
+std::vector<std::size_t> ox_crossover(const std::vector<std::size_t>& a,
+                                      const std::vector<std::size_t>& b,
+                                      Rng& rng) {
+  const std::size_t m = a.size();
+  std::size_t lo = rng.uniform_index(m);
+  std::size_t hi = rng.uniform_index(m);
+  if (lo > hi) std::swap(lo, hi);
+  std::vector<std::size_t> child(m, m);
+  std::vector<bool> taken(m, false);
+  for (std::size_t i = lo; i <= hi; ++i) {
+    child[i] = a[i];
+    taken[a[i]] = true;
+  }
+  std::size_t pos = (hi + 1) % m;
+  for (std::size_t k = 0; k < m; ++k) {
+    const std::size_t v = b[(hi + 1 + k) % m];
+    if (taken[v]) continue;
+    child[pos] = v;
+    taken[v] = true;
+    pos = (pos + 1) % m;
+  }
+  return child;
+}
+
+std::vector<std::size_t> genetic(const InterfaceCost& cost,
+                                 const RemapConfig& cfg, Rng& rng) {
+  const std::size_t m = cost.size();
+  if (m < 2) return identity_perm(m);
+  struct Individual {
+    std::vector<std::size_t> perm;
+    double fitness = 0.0;
+  };
+  const std::size_t pop_size = std::max<std::size_t>(4, cfg.ga_population);
+  std::vector<Individual> pop(pop_size);
+  for (std::size_t k = 0; k < pop_size; ++k) {
+    pop[k].perm = identity_perm(m);
+    if (k > 0) rng.shuffle(pop[k].perm);
+    pop[k].fitness = cost.total(pop[k].perm);
+  }
+  auto by_fitness = [](const Individual& a, const Individual& b) {
+    return a.fitness < b.fitness;
+  };
+  std::sort(pop.begin(), pop.end(), by_fitness);
+
+  auto tournament = [&]() -> const Individual& {
+    std::size_t best = rng.uniform_index(pop_size);
+    for (std::size_t t = 1; t < cfg.ga_tournament; ++t) {
+      const std::size_t c = rng.uniform_index(pop_size);
+      if (pop[c].fitness < pop[best].fitness) best = c;
+    }
+    return pop[best];
+  };
+
+  for (std::size_t gen = 0; gen < cfg.ga_generations; ++gen) {
+    std::vector<Individual> next;
+    next.reserve(pop_size);
+    for (std::size_t e = 0; e < std::min(cfg.ga_elites, pop_size); ++e)
+      next.push_back(pop[e]);
+    while (next.size() < pop_size) {
+      Individual child;
+      child.perm = ox_crossover(tournament().perm, tournament().perm, rng);
+      if (rng.bernoulli(cfg.ga_mutation_rate)) {
+        const std::size_t a = rng.uniform_index(m);
+        std::size_t b = rng.uniform_index(m - 1);
+        if (b >= a) ++b;
+        std::swap(child.perm[a], child.perm[b]);
+      }
+      child.fitness = cost.total(child.perm);
+      next.push_back(std::move(child));
+    }
+    pop = std::move(next);
+    std::sort(pop.begin(), pop.end(), by_fitness);
+  }
+  return pop.front().perm;
+}
+
+}  // namespace
+
+std::vector<std::size_t> optimize_assignment(const InterfaceCost& cost,
+                                             const RemapConfig& cfg,
+                                             Rng& rng) {
+  switch (cfg.algorithm) {
+    case RemapAlgorithm::kNone:
+      return identity_perm(cost.size());
+    case RemapAlgorithm::kGreedySwap:
+      return greedy_swap(cost, cfg, rng);
+    case RemapAlgorithm::kGenetic:
+      return genetic(cost, cfg, rng);
+    case RemapAlgorithm::kHungarian:
+      return hungarian_assignment(cost);
+  }
+  return identity_perm(cost.size());
+}
+
+PruneState compute_structured_pruning(Network& net, double neuron_sparsity) {
+  REFIT_CHECK(neuron_sparsity >= 0.0 && neuron_sparsity < 1.0);
+  PruneState state;
+  for (const RemapInterface& iface : find_remap_interfaces(net)) {
+    const std::size_t m = iface.neurons;
+    const auto k = static_cast<std::size_t>(neuron_sparsity *
+                                            static_cast<double>(m));
+    if (k == 0) continue;
+    const Tensor& wp = iface.producer->weights().target();
+    const Tensor& wc = iface.consumer->weights().target();
+    const std::size_t b = iface.consumer->rows_per_in_neuron();
+    const std::size_t prod_rows = wp.dim(0);
+    const std::size_t cons_cols = wc.dim(1);
+
+    // Importance of neuron j: energy of its outgoing column plus incoming
+    // row-block.
+    std::vector<std::pair<double, std::size_t>> importance(m);
+    for (std::size_t j = 0; j < m; ++j) {
+      double e = 0.0;
+      for (std::size_t i = 0; i < prod_rows; ++i) {
+        const double v = wp.at(i, j);
+        e += v * v;
+      }
+      for (std::size_t bb = 0; bb < b; ++bb) {
+        for (std::size_t c = 0; c < cons_cols; ++c) {
+          const double v = wc.at(j * b + bb, c);
+          e += v * v;
+        }
+      }
+      importance[j] = {e, j};
+    }
+    std::sort(importance.begin(), importance.end());
+
+    PruneMask prod_mask{prod_rows, m, std::vector<bool>(prod_rows * m, false)};
+    PruneMask cons_mask{wc.dim(0), cons_cols,
+                        std::vector<bool>(wc.dim(0) * cons_cols, false)};
+    for (std::size_t r = 0; r < k; ++r) {
+      const std::size_t j = importance[r].second;
+      for (std::size_t i = 0; i < prod_rows; ++i)
+        prod_mask.pruned[i * m + j] = true;
+      for (std::size_t bb = 0; bb < b; ++bb)
+        for (std::size_t c = 0; c < cons_cols; ++c)
+          cons_mask.pruned[(j * b + bb) * cons_cols + c] = true;
+    }
+    state.merge_mask(&iface.producer->weights(), prod_mask);
+    state.merge_mask(&iface.consumer->weights(), cons_mask);
+  }
+  return state;
+}
+
+RemapReport remap_network(Network& net, const DetectedFaults& detected,
+                          const PruneState& prune, const RemapConfig& cfg,
+                          Rng& rng) {
+  RemapReport report;
+  for (const RemapInterface& iface : find_remap_interfaces(net)) {
+    const InterfaceCost cost =
+        build_interface_cost(iface, detected, prune, cfg.cost_model);
+    const std::vector<std::size_t> cur = current_assignment(iface);
+    const double before = cost.total(cur);
+    std::vector<std::size_t> perm = optimize_assignment(cost, cfg, rng);
+    double after = cost.total(perm);
+    // Install only clear wins: a re-map rewrites every moved cell, so a
+    // marginal cost reduction is a net loss.
+    if (after >= before * (1.0 - cfg.min_improvement)) {
+      perm = cur;
+      after = before;
+    }
+    report.cost_before += before;
+    report.cost_after += after;
+    ++report.interfaces;
+    if (perm == cur) continue;
+
+    if (auto* xp = dynamic_cast<CrossbarWeightStore*>(
+            &iface.producer->weights())) {
+      xp->set_permutations(xp->row_perm(), perm);
+    }
+    if (auto* xc = dynamic_cast<CrossbarWeightStore*>(
+            &iface.consumer->weights())) {
+      const std::size_t b = iface.consumer->rows_per_in_neuron();
+      std::vector<std::size_t> row_perm(iface.neurons * b);
+      for (std::size_t j = 0; j < iface.neurons; ++j)
+        for (std::size_t bb = 0; bb < b; ++bb)
+          row_perm[j * b + bb] = perm[j] * b + bb;
+      xc->set_permutations(row_perm, xc->col_perm());
+    }
+  }
+  return report;
+}
+
+}  // namespace refit

@@ -1,0 +1,113 @@
+#include "core/threshold_trainer.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "rcs/crossbar_store.hpp"
+
+namespace refit {
+
+ThresholdStepStats ThresholdTrainer::step(
+    std::vector<Param>& params, std::size_t iteration,
+    const PruneState* prune,
+    const std::unordered_map<const WeightStore*, FaultMatrix>* detected)
+    const {
+  const double lr = lr_.at(iteration);
+  ThresholdStepStats stats;
+
+  // Pass 1: compute the raw deltas (δw·LR) for every matrix parameter and
+  // the maximum |δw| of this iteration.
+  struct Pending {
+    Param* param;
+    Tensor delta;
+    double local_max = 0.0;
+  };
+  std::vector<Pending> pending;
+  for (auto& p : params) {
+    if (p.store == nullptr) continue;  // biases handled below
+    REFIT_CHECK(p.grad != nullptr);
+    Tensor delta = *p.grad;
+    delta *= static_cast<float>(-lr);
+    if (prune != nullptr) prune->mask_delta(p.store, delta);
+    Pending pd{&p, std::move(delta), 0.0};
+    pd.local_max = pd.delta.max_abs();
+    stats.dw_max = std::max(stats.dw_max, pd.local_max);
+    pending.push_back(std::move(pd));
+  }
+
+  // The original (non-threshold) scheme programs the whole array each
+  // update step — zero deltas included — which is what wears cells out.
+  const bool full_write = cfg_.threshold_ratio <= 0.0;
+
+  // Pass 2: threshold filter + write suppression, then apply.
+  for (auto& pd : pending) {
+    const double base_max = cfg_.global_max ? stats.dw_max : pd.local_max;
+    const double base_thr = cfg_.threshold_ratio * base_max;
+    auto* xstore = dynamic_cast<CrossbarWeightStore*>(pd.param->store);
+    const FaultMatrix* fm = nullptr;
+    if (detected != nullptr) {
+      const auto it = detected->find(pd.param->store);
+      if (it != detected->end() && !it->second.empty()) fm = &it->second;
+    }
+    double mean_writes = 0.0;
+    if (cfg_.wear_leveling_beta > 0.0 && xstore != nullptr) {
+      mean_writes = static_cast<double>(xstore->write_count()) /
+                    static_cast<double>(std::max<std::size_t>(
+                        1, xstore->cell_count()));
+    }
+
+    const std::size_t rows = pd.delta.dim(0), cols = pd.delta.dim(1);
+    for (std::size_t i = 0; i < rows; ++i) {
+      for (std::size_t j = 0; j < cols; ++j) {
+        float& d = pd.delta.at(i, j);
+        if (d == 0.0f) {
+          if (full_write) {
+            ++stats.writes_issued;  // the refresh pulse still happens
+          } else {
+            ++stats.updates_zero;
+          }
+          continue;
+        }
+        // Skip writes to cells the detector already knows are stuck — the
+        // write would be a pure endurance/energy waste.
+        if (fm != nullptr && xstore != nullptr &&
+            fm->faulty(xstore->row_perm()[i], xstore->col_perm()[j])) {
+          d = 0.0f;
+          ++stats.writes_suppressed;
+          continue;
+        }
+        double thr = base_thr;
+        if (mean_writes > 0.0) {
+          const double ratio =
+              static_cast<double>(xstore->cell_write_count(i, j)) /
+              mean_writes;
+          thr *= 1.0 + cfg_.wear_leveling_beta * std::max(0.0, ratio - 1.0);
+        }
+        if (std::fabs(d) < thr) {
+          d = 0.0f;  // Algorithm 1, lines 6-8: suppress the write
+          ++stats.writes_suppressed;
+        } else {
+          ++stats.writes_issued;
+        }
+      }
+    }
+    if (full_write) {
+      pd.param->store->apply_delta_full(pd.delta);
+    } else {
+      pd.param->store->apply_delta(pd.delta);
+    }
+  }
+
+  // Peripheral (bias) parameters update without filtering: they live in
+  // CMOS, not on RRAM cells.
+  for (auto& p : params) {
+    if (p.store != nullptr) continue;
+    REFIT_CHECK(p.value != nullptr && p.grad != nullptr);
+    Tensor delta = *p.grad;
+    delta *= static_cast<float>(-lr);
+    *p.value += delta;
+  }
+  return stats;
+}
+
+}  // namespace refit

@@ -1,0 +1,56 @@
+#include "data/dataset.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/rng.hpp"
+
+namespace refit {
+
+Batcher::Batcher(const Dataset& data, std::size_t batch_size, Rng& rng)
+    : data_(data), batch_size_(batch_size), rng_(rng) {
+  REFIT_CHECK(batch_size_ > 0);
+  REFIT_CHECK_MSG(data_.train_size() >= batch_size_,
+                  "training split smaller than one batch");
+  order_.resize(data_.train_size());
+  std::iota(order_.begin(), order_.end(), 0);
+  reshuffle();
+}
+
+Batch Batcher::next() {
+  if (cursor_ + batch_size_ > order_.size()) {
+    ++epochs_;
+    reshuffle();
+  }
+  std::vector<std::size_t> rows(order_.begin() + cursor_,
+                                order_.begin() + cursor_ + batch_size_);
+  cursor_ += batch_size_;
+  Batch b;
+  b.images = gather_rows(data_.train_images, rows);
+  b.labels.reserve(rows.size());
+  for (std::size_t r : rows) b.labels.push_back(data_.train_labels[r]);
+  return b;
+}
+
+void Batcher::reshuffle() {
+  rng_.shuffle(order_);
+  cursor_ = 0;
+}
+
+Tensor gather_rows(const Tensor& data, const std::vector<std::size_t>& rows) {
+  REFIT_CHECK(data.rank() >= 2);
+  Shape s = data.shape();
+  const std::size_t per_row = data.numel() / s[0];
+  const std::size_t n = s[0];
+  s[0] = rows.size();
+  Tensor out(s);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    REFIT_CHECK(rows[i] < n);
+    std::copy(data.data() + rows[i] * per_row,
+              data.data() + (rows[i] + 1) * per_row,
+              out.data() + i * per_row);
+  }
+  return out;
+}
+
+}  // namespace refit

@@ -1,0 +1,60 @@
+// Dataset container and minibatch iteration.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace refit {
+
+class Rng;
+
+/// An in-memory classification dataset with a train/test split.
+/// Images are [N, C, H, W] for CNNs or [N, D] for MLPs.
+struct Dataset {
+  Tensor train_images;
+  std::vector<std::uint8_t> train_labels;
+  Tensor test_images;
+  std::vector<std::uint8_t> test_labels;
+  std::size_t num_classes = 0;
+
+  [[nodiscard]] std::size_t train_size() const {
+    return train_labels.size();
+  }
+  [[nodiscard]] std::size_t test_size() const { return test_labels.size(); }
+};
+
+/// One minibatch.
+struct Batch {
+  Tensor images;
+  std::vector<std::uint8_t> labels;
+};
+
+/// Cyclic shuffled minibatch source over a dataset's training split.
+class Batcher {
+ public:
+  /// Does not own the dataset; it must outlive the batcher.
+  Batcher(const Dataset& data, std::size_t batch_size, Rng& rng);
+
+  /// Next minibatch; reshuffles automatically at epoch boundaries.
+  Batch next();
+
+  [[nodiscard]] std::size_t batch_size() const { return batch_size_; }
+  [[nodiscard]] std::size_t epochs_completed() const { return epochs_; }
+
+ private:
+  void reshuffle();
+
+  const Dataset& data_;
+  std::size_t batch_size_;
+  Rng& rng_;
+  std::vector<std::size_t> order_;
+  std::size_t cursor_ = 0;
+  std::size_t epochs_ = 0;
+};
+
+/// Gather specific rows of a [N, ...] tensor into a new tensor.
+Tensor gather_rows(const Tensor& data, const std::vector<std::size_t>& rows);
+
+}  // namespace refit

@@ -1,0 +1,264 @@
+#include "detect/quiescent_detector.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "detect/decoder.hpp"
+
+namespace refit {
+
+namespace {
+
+/// Chunk `selected` into groups of at most `per_cycle` indices.
+std::vector<std::vector<std::size_t>> make_groups(
+    const std::vector<std::size_t>& selected, std::size_t per_cycle) {
+  std::vector<std::vector<std::size_t>> groups;
+  for (std::size_t i = 0; i < selected.size(); i += per_cycle) {
+    const std::size_t end = std::min(i + per_cycle, selected.size());
+    groups.emplace_back(selected.begin() + static_cast<std::ptrdiff_t>(i),
+                        selected.begin() + static_cast<std::ptrdiff_t>(end));
+  }
+  return groups;
+}
+
+}  // namespace
+
+void QuiescentVoltageDetector::run_pass(
+    Crossbar& xbar, int stuck_level, int pulse,
+    const std::vector<std::vector<int>>& stored, FaultMatrix& predicted,
+    DetectionOutcome& out) const {
+  const std::size_t rows = xbar.rows(), cols = xbar.cols();
+  const std::size_t levels = xbar.config().levels;
+  const double gap = xbar.config().level_gap();
+  const auto lm1 = static_cast<double>(levels - 1);
+
+  // Step 2: candidate selection. Even without §4.3's selected-cell mode
+  // the controller knows the stored values, so cells already saturated at
+  // the pulse's end of the range are excluded — they cannot respond to the
+  // write and would otherwise be guaranteed false positives.
+  std::vector<bool> candidate(rows * cols, false);
+  std::size_t candidate_count = 0;
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      const bool can_respond = pulse > 0
+                                   ? stored[r][c] < static_cast<int>(levels) - 1
+                                   : stored[r][c] > 0;
+      const bool is_candidate = cfg_.selected_cells_only
+                                    ? stored[r][c] == stuck_level
+                                    : can_respond;
+      if (is_candidate) {
+        candidate[r * cols + c] = true;
+        ++candidate_count;
+      }
+    }
+  }
+  if (candidate_count == 0) return;
+  out.cells_tested += candidate_count;
+
+  // Step 3: write the ±δw pulse to every candidate.
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      if (!candidate[r * cols + c]) continue;
+      xbar.write(r, c, xbar.conductance(r, c) + pulse * gap);
+      ++out.device_writes;
+    }
+  }
+
+  // Step 4/5: measure both directions. The comparator works in analog
+  // volts: the reference is computed from the stored levels (including
+  // each cell's IR-drop attenuation, which the controller calibrates for),
+  // digitized, and reduced modulo the divisor.
+  const std::size_t divisor = cfg_.modulo_divisor;
+  auto residue_of = [&](double expected_analog, double measured_analog) {
+    // SA0 pass (pulse +1): stuck cells create a deficit; SA1 pass: surplus.
+    const double diff_levels =
+        (pulse > 0 ? expected_analog - measured_analog
+                   : measured_analog - expected_analog) *
+        lm1;
+    long long diff = std::llround(diff_levels);
+    const auto d = static_cast<long long>(divisor);
+    diff %= d;
+    if (diff < 0) diff += d;
+    return static_cast<std::size_t>(diff);
+  };
+
+  DecodeInput din;
+  din.rows = rows;
+  din.cols = cols;
+  din.divisor = divisor;
+  din.candidate = candidate;
+  din.use_constraint_propagation = cfg_.use_constraint_propagation;
+
+  // Row-direction: drive groups of rows, read all column outputs per cycle.
+  std::vector<std::size_t> sel_rows;
+  for (std::size_t r = 0; r < rows; ++r) {
+    bool any = false;
+    for (std::size_t c = 0; c < cols && !any; ++c) any = candidate[r * cols + c];
+    if (any) sel_rows.push_back(r);
+  }
+  for (const auto& group : make_groups(sel_rows, cfg_.test_rows_per_cycle)) {
+    ++out.cycles;
+    for (std::size_t c = 0; c < cols; ++c) {
+      Segment seg;
+      double expected = 0.0;
+      for (std::size_t r : group) {
+        double level = stored[r][c];
+        if (candidate[r * cols + c]) {
+          level += pulse;
+          seg.cells.push_back(r * cols + c);
+        }
+        expected += xbar.attenuation(r, c) * level * gap;
+      }
+      if (seg.cells.empty()) continue;  // nothing testable in this segment
+      const double measured = xbar.sum_conductance_rows(group, c);
+      seg.residue = residue_of(expected, measured);
+      din.row_segments.push_back(std::move(seg));
+    }
+  }
+
+  // Column-direction (the crossbar works both ways, §4.1).
+  std::vector<std::size_t> sel_cols;
+  for (std::size_t c = 0; c < cols; ++c) {
+    bool any = false;
+    for (std::size_t r = 0; r < rows && !any; ++r) any = candidate[r * cols + c];
+    if (any) sel_cols.push_back(c);
+  }
+  for (const auto& group : make_groups(sel_cols, cfg_.tc())) {
+    ++out.cycles;
+    for (std::size_t r = 0; r < rows; ++r) {
+      Segment seg;
+      double expected = 0.0;
+      for (std::size_t c : group) {
+        double level = stored[r][c];
+        if (candidate[r * cols + c]) {
+          level += pulse;
+          seg.cells.push_back(r * cols + c);
+        }
+        expected += xbar.attenuation(r, c) * level * gap;
+      }
+      if (seg.cells.empty()) continue;
+      const double measured = xbar.sum_conductance_cols(group, r);
+      seg.residue = residue_of(expected, measured);
+      din.col_segments.push_back(std::move(seg));
+    }
+  }
+
+  // Step 7: decode.
+  const std::vector<bool> flags = decode_segments(din);
+  const FaultKind kind =
+      stuck_level == 0 ? FaultKind::kStuckAt0 : FaultKind::kStuckAt1;
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      if (flags[r * cols + c] && !predicted.faulty(r, c)) {
+        predicted.set(r, c, kind);
+      }
+    }
+  }
+
+  // Step 6: restore the training weights with the opposite pulse.
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      if (!candidate[r * cols + c]) continue;
+      xbar.write(r, c, xbar.conductance(r, c) - pulse * gap);
+      ++out.device_writes;
+    }
+  }
+}
+
+DetectionOutcome QuiescentVoltageDetector::detect(Crossbar& xbar) const {
+  REFIT_CHECK(cfg_.test_rows_per_cycle > 0 && cfg_.modulo_divisor >= 2);
+  const std::size_t rows = xbar.rows(), cols = xbar.cols();
+  DetectionOutcome out;
+  out.predicted = FaultMatrix(rows, cols);
+
+  auto read_all = [&] {
+    std::vector<std::vector<int>> stored(rows, std::vector<int>(cols, 0));
+    for (std::size_t r = 0; r < rows; ++r)
+      for (std::size_t c = 0; c < cols; ++c) stored[r][c] = xbar.read_level(r, c);
+    return stored;
+  };
+
+  // SA0 pass: stuck at the lowest level, tested with a +δw increment.
+  {
+    const auto stored = read_all();
+    run_pass(xbar, /*stuck_level=*/0, /*pulse=*/+1, stored, out.predicted,
+             out);
+  }
+  // SA1 pass: stuck at the highest level, tested with a −δw decrement.
+  {
+    const auto stored = read_all();
+    run_pass(xbar, static_cast<int>(xbar.config().levels) - 1, /*pulse=*/-1,
+             stored, out.predicted, out);
+  }
+  return out;
+}
+
+DetectionOutcome QuiescentVoltageDetector::detect_store(
+    CrossbarWeightStore& store) const {
+  DetectionOutcome out;
+  out.predicted = FaultMatrix(store.rows(), store.cols());
+  for (std::size_t ti = 0; ti < store.tile_grid_rows(); ++ti) {
+    for (std::size_t tj = 0; tj < store.tile_grid_cols(); ++tj) {
+      Crossbar& xb = store.tile(ti, tj);
+      DetectionOutcome tile_out = detect(xb);
+      const std::size_t r0 = ti * store.config().tile_rows;
+      const std::size_t c0 = tj * store.config().tile_cols;
+      for (std::size_t r = 0; r < xb.rows(); ++r) {
+        for (std::size_t c = 0; c < xb.cols(); ++c) {
+          out.predicted.set(r0 + r, c0 + c, tile_out.predicted.at(r, c));
+        }
+      }
+      out.cycles += tile_out.cycles;
+      out.cells_tested += tile_out.cells_tested;
+      out.device_writes += tile_out.device_writes;
+    }
+  }
+  store.invalidate();
+  return out;
+}
+
+ConfusionCounts evaluate_detection(const Crossbar& xbar,
+                                   const FaultMatrix& predicted) {
+  REFIT_CHECK(predicted.rows() == xbar.rows() &&
+              predicted.cols() == xbar.cols());
+  ConfusionCounts cc;
+  for (std::size_t r = 0; r < xbar.rows(); ++r)
+    for (std::size_t c = 0; c < xbar.cols(); ++c)
+      cc.add(xbar.is_stuck(r, c), predicted.faulty(r, c));
+  return cc;
+}
+
+ConfusionCounts evaluate_detection(const CrossbarWeightStore& store,
+                                   const FaultMatrix& predicted) {
+  REFIT_CHECK(predicted.rows() == store.rows() &&
+              predicted.cols() == store.cols());
+  ConfusionCounts cc;
+  for (std::size_t r = 0; r < store.rows(); ++r)
+    for (std::size_t c = 0; c < store.cols(); ++c)
+      cc.add(store.true_fault(r, c) != FaultKind::kNone,
+             predicted.faulty(r, c));
+  return cc;
+}
+
+void randomize_crossbar_content(Crossbar& xbar, double p_low, double p_high,
+                                Rng& rng) {
+  REFIT_CHECK(p_low >= 0.0 && p_high >= 0.0 && p_low + p_high <= 1.0);
+  const std::size_t levels = xbar.config().levels;
+  const double gap = xbar.config().level_gap();
+  for (std::size_t r = 0; r < xbar.rows(); ++r) {
+    for (std::size_t c = 0; c < xbar.cols(); ++c) {
+      const double u = rng.uniform();
+      std::size_t level = 0;
+      if (u < p_low) {
+        level = 0;
+      } else if (u < p_low + p_high) {
+        level = levels - 1;
+      } else if (levels > 2) {
+        level = 1 + rng.uniform_index(levels - 2);
+      }
+      xbar.write(r, c, static_cast<double>(level) * gap);
+    }
+  }
+}
+
+}  // namespace refit

@@ -1,0 +1,60 @@
+#include "nn/activations.hpp"
+
+#include "tensor/ops.hpp"
+
+namespace refit {
+
+Tensor ReLU::forward(const Tensor& x, bool train) {
+  Tensor y = x;
+  if (train) mask_.assign(x.numel(), false);
+  for (std::size_t i = 0; i < y.numel(); ++i) {
+    if (y[i] > 0.0f) {
+      if (train) mask_[i] = true;
+    } else {
+      y[i] = 0.0f;
+    }
+  }
+  return y;
+}
+
+Tensor ReLU::backward(const Tensor& grad_out) {
+  REFIT_CHECK_MSG(mask_.size() == grad_out.numel(),
+                  "ReLU " << name() << ": backward/forward shape mismatch");
+  Tensor gx = grad_out;
+  for (std::size_t i = 0; i < gx.numel(); ++i) {
+    if (!mask_[i]) gx[i] = 0.0f;
+  }
+  return gx;
+}
+
+Tensor Flatten::forward(const Tensor& x, bool train) {
+  REFIT_CHECK(x.rank() >= 2);
+  if (train) input_shape_ = x.shape();
+  const std::size_t batch = x.dim(0);
+  return x.reshaped({batch, x.numel() / batch});
+}
+
+Tensor Flatten::backward(const Tensor& grad_out) {
+  REFIT_CHECK_MSG(!input_shape_.empty(),
+                  "Flatten " << name() << ": backward before forward(train)");
+  return grad_out.reshaped(input_shape_);
+}
+
+Tensor MaxPool2D::forward(const Tensor& x, bool train) {
+  std::vector<std::size_t> argmax;
+  Tensor y = maxpool2d(x, window_, stride_, argmax);
+  if (train) {
+    input_shape_ = x.shape();
+    argmax_ = std::move(argmax);
+  }
+  return y;
+}
+
+Tensor MaxPool2D::backward(const Tensor& grad_out) {
+  REFIT_CHECK_MSG(!argmax_.empty(),
+                  "MaxPool2D " << name()
+                               << ": backward before forward(train)");
+  return maxpool2d_backward(grad_out, input_shape_, argmax_);
+}
+
+}  // namespace refit

@@ -1,0 +1,59 @@
+// 2-D convolution implemented as im2col + GEMM.
+//
+// The kernel bank is stored as a [C·k·k, OC] matrix so that, exactly like a
+// Dense layer, crossbar rows are inputs and columns are output neurons
+// (output channels). Each input channel spans a contiguous block of k² rows
+// — the re-mapping engine permutes whole blocks when re-ordering channels.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "nn/layer.hpp"
+#include "tensor/ops.hpp"
+
+namespace refit {
+
+class Rng;
+
+class Conv2D final : public MatrixLayer {
+ public:
+  /// `in_*` describe the input activation [N, C, H, W]; same-padding by
+  /// default (pad = kernel/2) keeps H×W when stride is 1.
+  Conv2D(std::string name, std::size_t in_channels, std::size_t in_h,
+         std::size_t in_w, std::size_t out_channels, std::size_t kernel,
+         std::size_t stride, std::size_t pad, const StoreFactory& factory,
+         Rng& rng);
+
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  void collect_params(std::vector<Param>& out) override;
+  void zero_grad() override;
+  [[nodiscard]] const char* kind() const override { return "conv"; }
+
+  [[nodiscard]] WeightStore& weights() override { return *store_; }
+  [[nodiscard]] const WeightStore& weights() const override { return *store_; }
+  [[nodiscard]] std::size_t out_neurons() const override { return oc_; }
+  [[nodiscard]] std::size_t in_neurons() const override {
+    return geom_.in_channels;
+  }
+  [[nodiscard]] std::size_t rows_per_in_neuron() const override {
+    return geom_.kernel * geom_.kernel;
+  }
+
+  [[nodiscard]] const ConvGeometry& geometry() const { return geom_; }
+  [[nodiscard]] std::size_t out_h() const { return geom_.out_h(); }
+  [[nodiscard]] std::size_t out_w() const { return geom_.out_w(); }
+
+ private:
+  ConvGeometry geom_;
+  std::size_t oc_;
+  std::unique_ptr<WeightStore> store_;
+  Tensor bias_;
+  Tensor wgrad_;
+  Tensor bgrad_;
+  Tensor cached_cols_;
+  std::size_t cached_batch_ = 0;
+};
+
+}  // namespace refit

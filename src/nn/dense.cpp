@@ -1,0 +1,59 @@
+#include "nn/dense.hpp"
+
+#include <cmath>
+#include <utility>
+
+#include "common/rng.hpp"
+#include "tensor/ops.hpp"
+
+namespace refit {
+
+Dense::Dense(std::string name, std::size_t in, std::size_t out,
+             const StoreFactory& factory, Rng& rng)
+    : MatrixLayer(std::move(name)),
+      in_(in),
+      out_(out),
+      bias_({out}),
+      wgrad_({in, out}),
+      bgrad_({out}) {
+  REFIT_CHECK(in > 0 && out > 0);
+  const float stddev = std::sqrt(2.0f / static_cast<float>(in));
+  store_ = factory(this->name(), Tensor::randn({in, out}, rng, stddev));
+  REFIT_CHECK(store_ != nullptr);
+}
+
+Tensor Dense::forward(const Tensor& x, bool train) {
+  REFIT_CHECK_MSG(x.rank() == 2 && x.dim(1) == in_,
+                  "Dense " << name() << ": bad input "
+                           << shape_to_string(x.shape()));
+  if (train) cached_input_ = x;
+  Tensor y = matmul(x, store_->effective());
+  add_row_vector(y, bias_);
+  return y;
+}
+
+Tensor Dense::backward(const Tensor& grad_out) {
+  REFIT_CHECK_MSG(!cached_input_.empty(),
+                  "Dense " << name() << ": backward before forward(train)");
+  REFIT_CHECK(grad_out.rank() == 2 && grad_out.dim(1) == out_);
+  wgrad_ += matmul_tn(cached_input_, grad_out);
+  bgrad_ += column_sums(grad_out);
+  // Back-propagation runs in the digital domain on the *stored* weight
+  // copy: the training engine cannot read the whole array every iteration,
+  // so it does not see stuck cells through the gradient. (This is exactly
+  // why the paper needs an explicit fault-detection phase.) Only the
+  // forward pass above went through the faulty crossbar.
+  return matmul_nt(grad_out, store_->target());
+}
+
+void Dense::collect_params(std::vector<Param>& out) {
+  out.push_back(Param{name() + ".W", store_.get(), nullptr, &wgrad_});
+  out.push_back(Param{name() + ".b", nullptr, &bias_, &bgrad_});
+}
+
+void Dense::zero_grad() {
+  wgrad_.zero();
+  bgrad_.zero();
+}
+
+}  // namespace refit

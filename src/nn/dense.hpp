@@ -1,0 +1,43 @@
+// Fully-connected layer: y = x·W + b with W on a WeightStore.
+#pragma once
+
+#include <memory>
+
+#include "nn/layer.hpp"
+
+namespace refit {
+
+class Rng;
+
+class Dense final : public MatrixLayer {
+ public:
+  /// He-normal initialized dense layer; the weight matrix [in, out] is
+  /// created through `factory` so it can live on crossbars.
+  Dense(std::string name, std::size_t in, std::size_t out,
+        const StoreFactory& factory, Rng& rng);
+
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  void collect_params(std::vector<Param>& out) override;
+  void zero_grad() override;
+  [[nodiscard]] const char* kind() const override { return "dense"; }
+
+  [[nodiscard]] WeightStore& weights() override { return *store_; }
+  [[nodiscard]] const WeightStore& weights() const override { return *store_; }
+  [[nodiscard]] std::size_t out_neurons() const override { return out_; }
+  [[nodiscard]] std::size_t in_neurons() const override { return in_; }
+  [[nodiscard]] std::size_t rows_per_in_neuron() const override { return 1; }
+
+  [[nodiscard]] Tensor& bias() { return bias_; }
+
+ private:
+  std::size_t in_;
+  std::size_t out_;
+  std::unique_ptr<WeightStore> store_;
+  Tensor bias_;
+  Tensor wgrad_;
+  Tensor bgrad_;
+  Tensor cached_input_;
+};
+
+}  // namespace refit

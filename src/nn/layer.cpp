@@ -1,0 +1,6 @@
+#include "nn/layer.hpp"
+
+// Layer and MatrixLayer are interface classes; their non-inline pieces are
+// intentionally empty. This translation unit anchors the vtables.
+
+namespace refit {}  // namespace refit

@@ -1,0 +1,79 @@
+#include "nn/models.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "common/rng.hpp"
+#include "nn/activations.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/dense.hpp"
+
+namespace refit {
+
+Network make_mlp(const std::vector<std::size_t>& dims,
+                 const StoreFactory& fc_factory, Rng& rng) {
+  REFIT_CHECK_MSG(dims.size() >= 2, "make_mlp needs at least {in, out}");
+  Network net;
+  for (std::size_t i = 0; i + 1 < dims.size(); ++i) {
+    const std::string name = "fc" + std::to_string(i + 1);
+    net.add(std::make_unique<Dense>(name, dims[i], dims[i + 1], fc_factory,
+                                    rng));
+    if (i + 2 < dims.size()) {
+      net.add(std::make_unique<ReLU>(name + ".relu"));
+    }
+  }
+  return net;
+}
+
+VggMiniConfig vgg11_config() {
+  VggMiniConfig cfg;
+  cfg.in_channels = 3;
+  cfg.in_hw = 32;
+  cfg.num_classes = 10;
+  cfg.conv_channels = {64, 128, 256, 256, 512, 512, 512, 512};
+  // VGG-11's pooling points, adapted so the 32×32 input ends at 1×1.
+  cfg.pool_after = {0, 1, 3, 5, 7};
+  cfg.fc_hidden = {512, 512};
+  return cfg;
+}
+
+Network make_vgg_mini(const VggMiniConfig& cfg,
+                      const StoreFactory& conv_factory,
+                      const StoreFactory& fc_factory, Rng& rng) {
+  REFIT_CHECK(!cfg.conv_channels.empty());
+  Network net;
+  std::size_t ch = cfg.in_channels;
+  std::size_t hw = cfg.in_hw;
+  for (std::size_t i = 0; i < cfg.conv_channels.size(); ++i) {
+    const std::string name = "conv" + std::to_string(i + 1);
+    const std::size_t oc = cfg.conv_channels[i];
+    net.add(std::make_unique<Conv2D>(name, ch, hw, hw, oc, /*kernel=*/3,
+                                     /*stride=*/1, /*pad=*/1, conv_factory,
+                                     rng));
+    net.add(std::make_unique<ReLU>(name + ".relu"));
+    ch = oc;
+    const bool pool =
+        std::find(cfg.pool_after.begin(), cfg.pool_after.end(), i) !=
+        cfg.pool_after.end();
+    if (pool) {
+      REFIT_CHECK_MSG(hw >= 2, "feature map too small to pool");
+      net.add(std::make_unique<MaxPool2D>(name + ".pool", 2, 2));
+      hw /= 2;
+    }
+  }
+  net.add(std::make_unique<Flatten>("flatten"));
+  std::size_t features = ch * hw * hw;
+  for (std::size_t i = 0; i < cfg.fc_hidden.size(); ++i) {
+    const std::string name = "fc" + std::to_string(i + 1);
+    net.add(std::make_unique<Dense>(name, features, cfg.fc_hidden[i],
+                                    fc_factory, rng));
+    net.add(std::make_unique<ReLU>(name + ".relu"));
+    features = cfg.fc_hidden[i];
+  }
+  net.add(std::make_unique<Dense>(
+      "fc" + std::to_string(cfg.fc_hidden.size() + 1), features,
+      cfg.num_classes, fc_factory, rng));
+  return net;
+}
+
+}  // namespace refit

@@ -1,0 +1,45 @@
+// Model zoo for the paper's two benchmarks (§5.1, §6.2.2):
+//  - an MLP in the 784×100×10 family for the MNIST-like task,
+//  - "VGG-mini", a scaled-down VGG-11 (stacked 3×3 convs + 3 FC layers)
+//    for the CIFAR-like task. DESIGN.md §4 documents the scaling.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "nn/network.hpp"
+#include "nn/weight_store.hpp"
+
+namespace refit {
+
+class Rng;
+
+/// Fully-connected classifier: Dense(+ReLU) per hidden dim, linear head.
+/// `dims` = {in, hidden..., out}; requires at least {in, out}.
+Network make_mlp(const std::vector<std::size_t>& dims,
+                 const StoreFactory& fc_factory, Rng& rng);
+
+/// Topology knobs for the VGG-mini CNN.
+struct VggMiniConfig {
+  std::size_t in_channels = 3;
+  std::size_t in_hw = 16;          ///< square input side
+  std::size_t num_classes = 10;
+  std::vector<std::size_t> conv_channels = {16, 32, 64, 64};
+  /// After which conv indices (0-based) a 2×2 max-pool follows.
+  std::vector<std::size_t> pool_after = {0, 1, 3};
+  std::vector<std::size_t> fc_hidden = {128, 64};
+};
+
+/// Build VGG-mini. Conv matrices come from `conv_factory` and FC matrices
+/// from `fc_factory`, so the paper's "entire-CNN" vs "FC-only" mapping
+/// cases are just different factory pairs.
+Network make_vgg_mini(const VggMiniConfig& cfg, const StoreFactory& conv_factory,
+                      const StoreFactory& fc_factory, Rng& rng);
+
+/// The paper's modified VGG-11 at full 32×32 CIFAR scale: 8 Conv layers
+/// (64-64-128-128-256-256-512-512, 3×3) and 3 FC layers. ~7.7 M weights —
+/// minutes per iteration on a CPU simulator, provided for users who want
+/// the paper's exact topology (the benches use VGG-mini, DESIGN.md §4).
+VggMiniConfig vgg11_config();
+
+}  // namespace refit

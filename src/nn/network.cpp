@@ -1,0 +1,89 @@
+#include "nn/network.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace refit {
+
+Layer& Network::add(std::unique_ptr<Layer> layer) {
+  REFIT_CHECK(layer != nullptr);
+  layers_.push_back(std::move(layer));
+  return *layers_.back();
+}
+
+Tensor Network::forward(const Tensor& x, bool train) {
+  REFIT_CHECK_MSG(!layers_.empty(), "forward on empty network");
+  Tensor cur = x;
+  for (auto& layer : layers_) cur = layer->forward(cur, train);
+  return cur;
+}
+
+Tensor Network::backward(const Tensor& grad_logits) {
+  REFIT_CHECK_MSG(!layers_.empty(), "backward on empty network");
+  Tensor cur = grad_logits;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it)
+    cur = (*it)->backward(cur);
+  return cur;
+}
+
+std::vector<Param> Network::params() {
+  std::vector<Param> out;
+  for (auto& layer : layers_) layer->collect_params(out);
+  return out;
+}
+
+std::vector<MatrixLayer*> Network::matrix_layers() {
+  std::vector<MatrixLayer*> out;
+  for (auto& layer : layers_) {
+    if (auto* ml = dynamic_cast<MatrixLayer*>(layer.get())) out.push_back(ml);
+  }
+  return out;
+}
+
+void Network::zero_grad() {
+  for (auto& layer : layers_) layer->zero_grad();
+}
+
+Layer& Network::layer(std::size_t i) {
+  REFIT_CHECK(i < layers_.size());
+  return *layers_[i];
+}
+
+double Network::evaluate(const Tensor& inputs,
+                         const std::vector<std::uint8_t>& labels,
+                         std::size_t batch_size) {
+  const std::size_t n = inputs.dim(0);
+  REFIT_CHECK(labels.size() == n && n > 0);
+  std::size_t correct = 0;
+  for (std::size_t begin = 0; begin < n; begin += batch_size) {
+    const std::size_t end = std::min(begin + batch_size, n);
+    Tensor batch = slice_batch(inputs, begin, end);
+    Tensor logits = forward(batch, /*train=*/false);
+    const std::size_t rows = logits.dim(0), cols = logits.dim(1);
+    for (std::size_t i = 0; i < rows; ++i) {
+      const float* row = logits.data() + i * cols;
+      const float* mx = std::max_element(row, row + cols);
+      if (static_cast<std::size_t>(mx - row) == labels[begin + i]) ++correct;
+    }
+  }
+  return static_cast<double>(correct) / static_cast<double>(n);
+}
+
+std::size_t Network::weight_count() {
+  std::size_t total = 0;
+  for (auto* ml : matrix_layers()) total += shape_numel(ml->weights().shape());
+  return total;
+}
+
+Tensor slice_batch(const Tensor& data, std::size_t begin, std::size_t end) {
+  REFIT_CHECK(data.rank() >= 2 && begin < end && end <= data.dim(0));
+  Shape s = data.shape();
+  const std::size_t per_row = data.numel() / s[0];
+  s[0] = end - begin;
+  Tensor out(s);
+  std::copy(data.data() + begin * per_row, data.data() + end * per_row,
+            out.data());
+  return out;
+}
+
+}  // namespace refit

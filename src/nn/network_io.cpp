@@ -1,0 +1,62 @@
+#include "nn/network_io.hpp"
+
+#include <istream>
+#include <ostream>
+
+#include "common/serialize.hpp"
+
+namespace refit {
+
+namespace {
+constexpr std::uint64_t kNetTag = 0x52454649544e4554ULL;  // "REFITNET"
+
+void write_tensor(std::ostream& os, const Tensor& t) {
+  std::vector<std::uint64_t> shape(t.shape().begin(), t.shape().end());
+  ser::write_vec(os, shape);
+  ser::write_vec(os, t.vec());
+}
+
+Tensor read_tensor(std::istream& is) {
+  const auto shape64 = ser::read_vec<std::uint64_t>(is);
+  Shape shape(shape64.begin(), shape64.end());
+  auto data = ser::read_vec<float>(is);
+  return Tensor(shape, std::move(data));
+}
+}  // namespace
+
+void save_network_weights(Network& net, std::ostream& os) {
+  ser::write_tag(os, kNetTag);
+  const auto params = net.params();
+  ser::write_pod<std::uint64_t>(os, params.size());
+  for (const Param& p : params) {
+    if (p.store != nullptr) {
+      write_tensor(os, p.store->target());
+    } else {
+      REFIT_CHECK(p.value != nullptr);
+      write_tensor(os, *p.value);
+    }
+  }
+}
+
+void load_network_weights(Network& net, std::istream& is) {
+  ser::expect_tag(is, kNetTag);
+  auto params = net.params();
+  const auto count = ser::read_pod<std::uint64_t>(is);
+  REFIT_CHECK_MSG(count == params.size(),
+                  "checkpoint has " << count << " parameters, network has "
+                                    << params.size());
+  for (Param& p : params) {
+    Tensor t = read_tensor(is);
+    if (p.store != nullptr) {
+      REFIT_CHECK_MSG(t.shape() == p.store->shape(),
+                      "checkpoint shape mismatch for " << p.name);
+      p.store->assign(t);
+    } else {
+      REFIT_CHECK_MSG(t.shape() == p.value->shape(),
+                      "checkpoint shape mismatch for " << p.name);
+      *p.value = std::move(t);
+    }
+  }
+}
+
+}  // namespace refit

@@ -1,0 +1,24 @@
+// Weight-level checkpointing for networks.
+//
+// Saves/restores every trainable parameter (matrix targets and biases) in
+// network order. Restoring into a crossbar-backed network re-programs the
+// chip through WeightStore::assign — a real write cost, just like loading
+// a trained model onto hardware would be. For bit-exact *device* state
+// (faults, wear, analog noise), checkpoint the CrossbarWeightStores
+// themselves (CrossbarWeightStore::save/load).
+#pragma once
+
+#include <iosfwd>
+
+#include "nn/network.hpp"
+
+namespace refit {
+
+/// Serialize all parameter values (matrix targets + biases).
+void save_network_weights(Network& net, std::ostream& os);
+
+/// Restore parameter values saved by save_network_weights. The network
+/// must have the identical architecture (checked via shapes).
+void load_network_weights(Network& net, std::istream& is);
+
+}  // namespace refit

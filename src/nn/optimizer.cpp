@@ -1,0 +1,31 @@
+#include "nn/optimizer.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace refit {
+
+double LrSchedule::at(std::size_t iteration) const {
+  if (decay_every == 0) return initial;
+  const auto steps = static_cast<double>(iteration / decay_every);
+  return std::max(min_lr, initial * std::pow(decay, steps));
+}
+
+void Sgd::step(std::vector<Param>& params, std::size_t iteration) const {
+  const double lr = schedule_.at(iteration);
+  for (auto& p : params) {
+    REFIT_CHECK(p.grad != nullptr);
+    if (p.store != nullptr) {
+      Tensor delta = *p.grad;
+      delta *= static_cast<float>(-lr);
+      p.store->apply_delta(delta);
+    } else {
+      REFIT_CHECK(p.value != nullptr);
+      Tensor delta = *p.grad;
+      delta *= static_cast<float>(-lr);
+      *p.value += delta;
+    }
+  }
+}
+
+}  // namespace refit

@@ -1,0 +1,39 @@
+// Plain SGD and the learning-rate schedule (Eq. 1 of the paper: weights are
+// updated by LR·δw with LR starting large and decaying during training).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "nn/layer.hpp"
+
+namespace refit {
+
+/// Step-decay learning-rate schedule.
+struct LrSchedule {
+  double initial = 0.05;
+  double decay = 0.5;            ///< multiplier applied every `decay_every`
+  std::size_t decay_every = 0;   ///< 0 disables decay
+  double min_lr = 1e-4;
+
+  [[nodiscard]] double at(std::size_t iteration) const;
+};
+
+/// Vanilla stochastic gradient descent. The update is routed through each
+/// parameter's WeightStore, so on an RCS backend every nonzero delta is a
+/// device write (this is the paper's "original method" baseline).
+class Sgd {
+ public:
+  explicit Sgd(LrSchedule schedule) : schedule_(schedule) {}
+
+  /// Apply one update step from the accumulated gradients, then zero-delta
+  /// bookkeeping is up to the caller (typically Network::zero_grad()).
+  void step(std::vector<Param>& params, std::size_t iteration) const;
+
+  [[nodiscard]] const LrSchedule& schedule() const { return schedule_; }
+
+ private:
+  LrSchedule schedule_;
+};
+
+}  // namespace refit

@@ -1,0 +1,27 @@
+#include "nn/weight_store.hpp"
+
+#include <utility>
+
+namespace refit {
+
+SoftwareWeightStore::SoftwareWeightStore(Tensor init) : w_(std::move(init)) {}
+
+void SoftwareWeightStore::apply_delta(const Tensor& delta) {
+  REFIT_CHECK_MSG(delta.shape() == w_.shape(),
+                  "delta shape mismatch in SoftwareWeightStore");
+  w_ += delta;
+}
+
+void SoftwareWeightStore::assign(const Tensor& w) {
+  REFIT_CHECK_MSG(w.shape() == w_.shape(),
+                  "assign shape mismatch in SoftwareWeightStore");
+  w_ = w;
+}
+
+StoreFactory software_store_factory() {
+  return [](const std::string&, Tensor init) {
+    return std::make_unique<SoftwareWeightStore>(std::move(init));
+  };
+}
+
+}  // namespace refit

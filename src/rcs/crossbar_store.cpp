@@ -1,0 +1,353 @@
+#include "rcs/crossbar_store.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <istream>
+#include <numeric>
+#include <ostream>
+#include <utility>
+
+#include "common/serialize.hpp"
+
+namespace refit {
+
+namespace {
+
+double rms(const Tensor& t) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < t.numel(); ++i) {
+    const double v = t[i];
+    s += v * v;
+  }
+  return std::sqrt(s / static_cast<double>(std::max<std::size_t>(1, t.numel())));
+}
+
+}  // namespace
+
+CrossbarWeightStore::CrossbarWeightStore(const RcsConfig& cfg, Tensor init,
+                                         Rng rng)
+    : cfg_(cfg), target_(std::move(init)) {
+  REFIT_CHECK_MSG(target_.rank() == 2, "crossbar store needs a 2-D matrix");
+  REFIT_CHECK(cfg_.tile_rows > 0 && cfg_.tile_cols > 0);
+  const std::size_t r = rows(), c = cols();
+  weight_max_ = std::max(1e-6, cfg_.weight_clip_multiplier * rms(target_));
+
+  grid_rows_ = (r + cfg_.tile_rows - 1) / cfg_.tile_rows;
+  grid_cols_ = (c + cfg_.tile_cols - 1) / cfg_.tile_cols;
+  tiles_.reserve(grid_rows_ * grid_cols_);
+  for (std::size_t ti = 0; ti < grid_rows_; ++ti) {
+    for (std::size_t tj = 0; tj < grid_cols_; ++tj) {
+      CrossbarConfig xc;
+      xc.rows = std::min(cfg_.tile_rows, r - ti * cfg_.tile_rows);
+      xc.cols = std::min(cfg_.tile_cols, c - tj * cfg_.tile_cols);
+      xc.levels = cfg_.levels;
+      xc.write_noise_sigma = cfg_.write_noise_sigma;
+      xc.wire_resistance_ratio = cfg_.wire_resistance_ratio;
+      tiles_.push_back(std::make_unique<Crossbar>(
+          xc, cfg_.endurance, rng.split(ti * grid_cols_ + tj + 1)));
+    }
+  }
+
+  if (cfg_.inject_fabrication && cfg_.fabrication.fraction > 0.0) {
+    Rng fab_rng = rng.split(0xfabfabULL);
+    for (auto& t : tiles_) {
+      Rng tile_rng = fab_rng.split(reinterpret_cast<std::uintptr_t>(t.get()));
+      inject_fabrication_faults(*t, cfg_.fabrication, tile_rng);
+    }
+  }
+
+  row_perm_.resize(r);
+  col_perm_.resize(c);
+  std::iota(row_perm_.begin(), row_perm_.end(), 0);
+  std::iota(col_perm_.begin(), col_perm_.end(), 0);
+  inv_row_perm_ = row_perm_;
+  inv_col_perm_ = col_perm_;
+
+  // Program the initial weights onto the chip.
+  for (std::size_t i = 0; i < r; ++i) {
+    for (std::size_t j = 0; j < c; ++j) {
+      target_.at(i, j) = std::clamp(target_.at(i, j),
+                                    -static_cast<float>(weight_max_),
+                                    static_cast<float>(weight_max_));
+      write_logical(i, j);
+    }
+  }
+}
+
+CrossbarWeightStore::TileCoord CrossbarWeightStore::locate(
+    std::size_t phys_r, std::size_t phys_c) const {
+  REFIT_DCHECK(phys_r < rows() && phys_c < cols());
+  return TileCoord{phys_r / cfg_.tile_rows, phys_c / cfg_.tile_cols,
+                   phys_r % cfg_.tile_rows, phys_c % cfg_.tile_cols};
+}
+
+Crossbar& CrossbarWeightStore::tile(std::size_t ti, std::size_t tj) {
+  REFIT_CHECK(ti < grid_rows_ && tj < grid_cols_);
+  return *tiles_[ti * grid_cols_ + tj];
+}
+
+const Crossbar& CrossbarWeightStore::tile(std::size_t ti,
+                                          std::size_t tj) const {
+  REFIT_CHECK(ti < grid_rows_ && tj < grid_cols_);
+  return *tiles_[ti * grid_cols_ + tj];
+}
+
+void CrossbarWeightStore::write_logical(std::size_t i, std::size_t j) {
+  const auto tc = locate(row_perm_[i], col_perm_[j]);
+  const double g = std::fabs(target_.at(i, j)) / weight_max_;
+  tiles_[tc.ti * grid_cols_ + tc.tj]->write(tc.lr, tc.lc, g);
+  dirty_ = true;
+}
+
+const Tensor& CrossbarWeightStore::effective() {
+  if (dirty_) rebuild_effective();
+  return effective_;
+}
+
+void CrossbarWeightStore::rebuild_effective() {
+  const std::size_t r = rows(), c = cols();
+  if (effective_.shape() != target_.shape()) effective_ = Tensor({r, c});
+  for (std::size_t i = 0; i < r; ++i) {
+    for (std::size_t j = 0; j < c; ++j) {
+      const auto tc = locate(row_perm_[i], col_perm_[j]);
+      const Crossbar& xb = *tiles_[tc.ti * grid_cols_ + tc.tj];
+      // The compute path is analog: the cell's contribution includes its
+      // IR-drop attenuation (identity when the model is disabled).
+      const double g = xb.effective_conductance(tc.lr, tc.lc);
+      // Peripheral sign register: sign of the last written target. SA1
+      // cells therefore saturate at ±weight_max, SA0 cells read as 0.
+      const float sign = target_.at(i, j) < 0.0f ? -1.0f : 1.0f;
+      effective_.at(i, j) = sign * static_cast<float>(g * weight_max_);
+    }
+  }
+  dirty_ = false;
+}
+
+void CrossbarWeightStore::apply_delta(const Tensor& delta) {
+  REFIT_CHECK_MSG(delta.shape() == target_.shape(),
+                  "delta shape mismatch in CrossbarWeightStore");
+  const std::size_t r = rows(), c = cols();
+  for (std::size_t i = 0; i < r; ++i) {
+    for (std::size_t j = 0; j < c; ++j) {
+      const float d = delta.at(i, j);
+      if (d == 0.0f) continue;  // threshold training skips these writes
+      target_.at(i, j) = std::clamp(target_.at(i, j) + d,
+                                    -static_cast<float>(weight_max_),
+                                    static_cast<float>(weight_max_));
+      write_logical(i, j);
+    }
+  }
+}
+
+void CrossbarWeightStore::apply_delta_full(const Tensor& delta) {
+  REFIT_CHECK_MSG(delta.shape() == target_.shape(),
+                  "delta shape mismatch in CrossbarWeightStore");
+  const std::size_t r = rows(), c = cols();
+  for (std::size_t i = 0; i < r; ++i) {
+    for (std::size_t j = 0; j < c; ++j) {
+      const float d = delta.at(i, j);
+      if (d != 0.0f) {
+        target_.at(i, j) = std::clamp(target_.at(i, j) + d,
+                                      -static_cast<float>(weight_max_),
+                                      static_cast<float>(weight_max_));
+      }
+      // Zero delta still issues the programming pulse (same value).
+      write_logical(i, j);
+    }
+  }
+}
+
+void CrossbarWeightStore::assign(const Tensor& w) {
+  REFIT_CHECK_MSG(w.shape() == target_.shape(),
+                  "assign shape mismatch in CrossbarWeightStore");
+  const std::size_t r = rows(), c = cols();
+  for (std::size_t i = 0; i < r; ++i) {
+    for (std::size_t j = 0; j < c; ++j) {
+      const float nv = std::clamp(w.at(i, j), -static_cast<float>(weight_max_),
+                                  static_cast<float>(weight_max_));
+      if (nv == target_.at(i, j)) continue;
+      target_.at(i, j) = nv;
+      write_logical(i, j);
+    }
+  }
+}
+
+std::uint64_t CrossbarWeightStore::write_count() const {
+  std::uint64_t total = 0;
+  for (const auto& t : tiles_) total += t->total_writes();
+  return total;
+}
+
+double CrossbarWeightStore::expected_g(std::size_t r, std::size_t c) const {
+  const std::size_t i = inv_row_perm_[r];
+  const std::size_t j = inv_col_perm_[c];
+  return std::fabs(target_.at(i, j)) / weight_max_;
+}
+
+FaultKind CrossbarWeightStore::true_fault(std::size_t r, std::size_t c) const {
+  const auto tc = locate(r, c);
+  return tiles_[tc.ti * grid_cols_ + tc.tj]->fault(tc.lr, tc.lc);
+}
+
+FaultMatrix CrossbarWeightStore::true_fault_matrix() const {
+  FaultMatrix fm(rows(), cols());
+  for (std::size_t r = 0; r < rows(); ++r)
+    for (std::size_t c = 0; c < cols(); ++c) fm.set(r, c, true_fault(r, c));
+  return fm;
+}
+
+double CrossbarWeightStore::actual_g(std::size_t r, std::size_t c) const {
+  const auto tc = locate(r, c);
+  return tiles_[tc.ti * grid_cols_ + tc.tj]->conductance(tc.lr, tc.lc);
+}
+
+void CrossbarWeightStore::pulse_physical(std::size_t r, std::size_t c,
+                                         double delta_g) {
+  const auto tc = locate(r, c);
+  Crossbar& xb = *tiles_[tc.ti * grid_cols_ + tc.tj];
+  xb.write(tc.lr, tc.lc, xb.conductance(tc.lr, tc.lc) + delta_g);
+  dirty_ = true;
+}
+
+void CrossbarWeightStore::sync_target_from_device() {
+  if (dirty_) rebuild_effective();
+  target_ = effective_;
+}
+
+void CrossbarWeightStore::sync_targets_where(
+    const FaultMatrix& physical_faults) {
+  REFIT_CHECK(physical_faults.rows() == rows() &&
+              physical_faults.cols() == cols());
+  if (dirty_) rebuild_effective();
+  for (std::size_t i = 0; i < rows(); ++i) {
+    for (std::size_t j = 0; j < cols(); ++j) {
+      if (physical_faults.faulty(row_perm_[i], col_perm_[j])) {
+        target_.at(i, j) = effective_.at(i, j);
+      }
+    }
+  }
+}
+
+void CrossbarWeightStore::set_permutations(std::vector<std::size_t> row_perm,
+                                           std::vector<std::size_t> col_perm) {
+  const std::size_t r = rows(), c = cols();
+  REFIT_CHECK_MSG(row_perm.size() == r && col_perm.size() == c,
+                  "permutation size mismatch");
+  // Validate bijectivity.
+  std::vector<bool> seen_r(r, false), seen_c(c, false);
+  for (std::size_t v : row_perm) {
+    REFIT_CHECK_MSG(v < r && !seen_r[v], "row_perm is not a permutation");
+    seen_r[v] = true;
+  }
+  for (std::size_t v : col_perm) {
+    REFIT_CHECK_MSG(v < c && !seen_c[v], "col_perm is not a permutation");
+    seen_c[v] = true;
+  }
+
+  const std::vector<std::size_t> old_rows = row_perm_;
+  const std::vector<std::size_t> old_cols = col_perm_;
+  row_perm_ = std::move(row_perm);
+  col_perm_ = std::move(col_perm);
+  for (std::size_t i = 0; i < r; ++i) inv_row_perm_[row_perm_[i]] = i;
+  for (std::size_t j = 0; j < c; ++j) inv_col_perm_[col_perm_[j]] = j;
+
+  // Rewrite every cell whose logical owner moved. (Unmoved cells keep their
+  // programmed conductance — no endurance is spent on them.)
+  for (std::size_t i = 0; i < r; ++i) {
+    const bool row_moved = old_rows[i] != row_perm_[i];
+    for (std::size_t j = 0; j < c; ++j) {
+      if (row_moved || old_cols[j] != col_perm_[j]) write_logical(i, j);
+    }
+  }
+  dirty_ = true;
+}
+
+namespace {
+constexpr std::uint64_t kStoreTag = 0x5245464954535452ULL;  // "REFITSTR"
+
+void write_tensor(std::ostream& os, const Tensor& t) {
+  std::vector<std::uint64_t> shape(t.shape().begin(), t.shape().end());
+  ser::write_vec(os, shape);
+  ser::write_vec(os, t.vec());
+}
+
+Tensor read_tensor(std::istream& is) {
+  const auto shape64 = ser::read_vec<std::uint64_t>(is);
+  Shape shape(shape64.begin(), shape64.end());
+  auto data = ser::read_vec<float>(is);
+  return Tensor(shape, std::move(data));
+}
+}  // namespace
+
+void CrossbarWeightStore::save(std::ostream& os) const {
+  ser::write_tag(os, kStoreTag);
+  ser::write_pod(os, cfg_);
+  write_tensor(os, target_);
+  ser::write_pod(os, weight_max_);
+  ser::write_pod<std::uint64_t>(os, grid_rows_);
+  ser::write_pod<std::uint64_t>(os, grid_cols_);
+  std::vector<std::uint64_t> rp(row_perm_.begin(), row_perm_.end());
+  std::vector<std::uint64_t> cp(col_perm_.begin(), col_perm_.end());
+  ser::write_vec(os, rp);
+  ser::write_vec(os, cp);
+  for (const auto& t : tiles_) t->save(os);
+}
+
+std::unique_ptr<CrossbarWeightStore> CrossbarWeightStore::load(
+    std::istream& is) {
+  ser::expect_tag(is, kStoreTag);
+  // NOLINTNEXTLINE(*-owning-memory): private ctor, make_unique unavailable
+  std::unique_ptr<CrossbarWeightStore> store(new CrossbarWeightStore());
+  store->cfg_ = ser::read_pod<RcsConfig>(is);
+  store->target_ = read_tensor(is);
+  REFIT_CHECK_MSG(store->target_.rank() == 2, "corrupt store checkpoint");
+  store->weight_max_ = ser::read_pod<double>(is);
+  store->grid_rows_ =
+      static_cast<std::size_t>(ser::read_pod<std::uint64_t>(is));
+  store->grid_cols_ =
+      static_cast<std::size_t>(ser::read_pod<std::uint64_t>(is));
+  const auto rp = ser::read_vec<std::uint64_t>(is);
+  const auto cp = ser::read_vec<std::uint64_t>(is);
+  store->row_perm_.assign(rp.begin(), rp.end());
+  store->col_perm_.assign(cp.begin(), cp.end());
+  REFIT_CHECK_MSG(store->row_perm_.size() == store->rows() &&
+                      store->col_perm_.size() == store->cols(),
+                  "corrupt store checkpoint (permutations)");
+  store->inv_row_perm_.resize(store->rows());
+  store->inv_col_perm_.resize(store->cols());
+  for (std::size_t i = 0; i < store->rows(); ++i)
+    store->inv_row_perm_[store->row_perm_[i]] = i;
+  for (std::size_t j = 0; j < store->cols(); ++j)
+    store->inv_col_perm_[store->col_perm_[j]] = j;
+  store->tiles_.reserve(store->grid_rows_ * store->grid_cols_);
+  for (std::size_t t = 0; t < store->grid_rows_ * store->grid_cols_; ++t) {
+    store->tiles_.push_back(std::make_unique<Crossbar>(Crossbar::load(is)));
+  }
+  store->dirty_ = true;
+  return store;
+}
+
+std::uint64_t CrossbarWeightStore::cell_write_count(std::size_t i,
+                                                    std::size_t j) const {
+  const auto tc = locate(row_perm_[i], col_perm_[j]);
+  return tiles_[tc.ti * grid_cols_ + tc.tj]->write_count(tc.lr, tc.lc);
+}
+
+double CrossbarWeightStore::fault_fraction() const {
+  return static_cast<double>(fault_count()) /
+         static_cast<double>(cell_count());
+}
+
+std::size_t CrossbarWeightStore::fault_count() const {
+  std::size_t n = 0;
+  for (const auto& t : tiles_) n += t->fault_count();
+  return n;
+}
+
+std::size_t CrossbarWeightStore::wearout_fault_count() const {
+  std::size_t n = 0;
+  for (const auto& t : tiles_) n += t->wearout_fault_count();
+  return n;
+}
+
+}  // namespace refit

@@ -1,0 +1,160 @@
+// CrossbarWeightStore — a WeightStore backed by RRAM crossbar tiles (S5).
+//
+// Mapping model (DESIGN.md §5): a logical weight matrix W [fan_in, fan_out]
+// is partitioned onto a grid of crossbar tiles (default 128×128). Each cell
+// stores the weight *magnitude* as a conductance in [0, 1] scaled by the
+// layer's weight_max; the sign lives in a peripheral register (CMOS, never
+// faulty). Consequences, matching the paper's semantics:
+//   - SA0 pins the effective weight to 0 — which is why pruned (zero)
+//     weights can be re-mapped onto SA0 cells for free;
+//   - SA1 pins it to ±weight_max (sign preserved).
+//
+// Re-mapping support: logical row i / column j live at physical
+// row_perm[i] / col_perm[j]. The re-mapping engine only installs
+// permutations that correspond to neuron re-orderings (paper §5.2), so no
+// extra routing is implied; changing the permutation rewrites the cells
+// whose logical owner moved (a real write cost, counted against endurance).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <vector>
+
+#include "nn/weight_store.hpp"
+#include "rram/crossbar.hpp"
+#include "rram/fault_map.hpp"
+#include "rram/faults.hpp"
+
+namespace refit {
+
+/// Configuration for crossbar-backed weight storage.
+struct RcsConfig {
+  /// Tile geometry (edge tiles shrink to fit the matrix).
+  std::size_t tile_rows = 128;
+  std::size_t tile_cols = 128;
+  /// Cell resistance levels (paper uses 8-level MLC, ref. [17]).
+  std::size_t levels = 8;
+  /// Analog write perturbation (fraction of the conductance range).
+  double write_noise_sigma = 0.02;
+  /// IR-drop wire-resistance ratio forwarded to every tile (see
+  /// CrossbarConfig::wire_resistance_ratio); 0 disables the model.
+  double wire_resistance_ratio = 0.0;
+  /// Write-endurance distribution; unlimited() disables wear-out.
+  EnduranceModel endurance = EnduranceModel::unlimited();
+  /// Fabrication defects injected at construction when true.
+  bool inject_fabrication = true;
+  FaultInjectionConfig fabrication{};
+  /// weight_max = multiplier × RMS(initial weights); weights clip there.
+  double weight_clip_multiplier = 4.0;
+};
+
+/// Weight matrix on RRAM crossbar tiles.
+class CrossbarWeightStore final : public WeightStore {
+ public:
+  CrossbarWeightStore(const RcsConfig& cfg, Tensor init, Rng rng);
+
+  // ---- WeightStore interface -------------------------------------------
+  [[nodiscard]] const Shape& shape() const override { return target_.shape(); }
+  [[nodiscard]] const Tensor& effective() override;
+  [[nodiscard]] const Tensor& target() const override { return target_; }
+  void apply_delta(const Tensor& delta) override;
+  void apply_delta_full(const Tensor& delta) override;
+  void assign(const Tensor& w) override;
+  [[nodiscard]] std::uint64_t write_count() const override;
+
+  // ---- Geometry ----------------------------------------------------------
+  [[nodiscard]] std::size_t rows() const { return target_.dim(0); }
+  [[nodiscard]] std::size_t cols() const { return target_.dim(1); }
+  [[nodiscard]] std::size_t tile_grid_rows() const { return grid_rows_; }
+  [[nodiscard]] std::size_t tile_grid_cols() const { return grid_cols_; }
+  [[nodiscard]] Crossbar& tile(std::size_t ti, std::size_t tj);
+  [[nodiscard]] const Crossbar& tile(std::size_t ti, std::size_t tj) const;
+  [[nodiscard]] const RcsConfig& config() const { return cfg_; }
+  [[nodiscard]] double weight_max() const { return weight_max_; }
+
+  // ---- Physical-space views (used by the on-line detector) --------------
+  /// Conductance the store last targeted for the physical cell (r, c).
+  [[nodiscard]] double expected_g(std::size_t r, std::size_t c) const;
+  /// Ground-truth fault of the physical cell (for detector evaluation).
+  [[nodiscard]] FaultKind true_fault(std::size_t r, std::size_t c) const;
+  /// Assembled ground-truth fault matrix (physical space).
+  [[nodiscard]] FaultMatrix true_fault_matrix() const;
+  /// Actual conductance of the physical cell.
+  [[nodiscard]] double actual_g(std::size_t r, std::size_t c) const;
+
+  // ---- Permutations (re-mapping) ----------------------------------------
+  /// Install logical→physical permutations; rewrites moved cells.
+  void set_permutations(std::vector<std::size_t> row_perm,
+                        std::vector<std::size_t> col_perm);
+  [[nodiscard]] const std::vector<std::size_t>& row_perm() const {
+    return row_perm_;
+  }
+  [[nodiscard]] const std::vector<std::size_t>& col_perm() const {
+    return col_perm_;
+  }
+
+  // ---- Bookkeeping -------------------------------------------------------
+  /// Device writes issued so far for the *logical* cell (i, j) — i.e. the
+  /// writes accumulated by whatever physical cell currently hosts it.
+  [[nodiscard]] std::uint64_t cell_write_count(std::size_t i,
+                                               std::size_t j) const;
+  [[nodiscard]] double fault_fraction() const;
+  [[nodiscard]] std::size_t fault_count() const;
+  [[nodiscard]] std::size_t wearout_fault_count() const;
+  [[nodiscard]] std::size_t cell_count() const { return rows() * cols(); }
+
+  /// Mark the cached effective weights stale (call after any direct tile
+  /// manipulation, e.g. a detection pass).
+  void invalidate() { dirty_ = true; }
+
+  /// Overwrite the off-chip target copy with the device's actual effective
+  /// weights (the "read RRAM values, store off-chip" step of the paper's
+  /// Fig. 3). Pure read — costs no device writes. After this call the
+  /// target of an SA0-hosted weight is exactly 0, so magnitude pruning
+  /// becomes fault-aware automatically.
+  void sync_target_from_device();
+
+  /// Targeted variant: re-read only the logical weights currently hosted on
+  /// cells flagged in `physical_faults`. Healthy weights keep their full-
+  /// precision off-chip accumulation; fault-hosted weights collapse to what
+  /// the device actually computes (0 for SA0, ±weight_max for SA1), so a
+  /// later re-mapping relocates real values instead of stale garbage and
+  /// magnitude pruning naturally reuses SA0 cells as zeros.
+  void sync_targets_where(const FaultMatrix& physical_faults);
+
+  /// Issue a raw ±one-level pulse to a physical cell (detection writes).
+  void pulse_physical(std::size_t r, std::size_t c, double delta_g);
+
+  /// Checkpointing: serialize the full store (off-chip targets, physical
+  /// permutations, and every tile's device state).
+  void save(std::ostream& os) const;
+  static std::unique_ptr<CrossbarWeightStore> load(std::istream& is);
+
+ private:
+  /// Uninitialized shell used by load().
+  CrossbarWeightStore() = default;
+
+  struct TileCoord {
+    std::size_t ti, tj, lr, lc;
+  };
+  [[nodiscard]] TileCoord locate(std::size_t phys_r, std::size_t phys_c) const;
+  /// Program the physical cell hosting logical (i, j) from target_.
+  void write_logical(std::size_t i, std::size_t j);
+  void rebuild_effective();
+
+  RcsConfig cfg_;
+  Tensor target_;
+  Tensor effective_;
+  double weight_max_ = 1.0;
+  std::size_t grid_rows_ = 0;
+  std::size_t grid_cols_ = 0;
+  std::vector<std::unique_ptr<Crossbar>> tiles_;
+  std::vector<std::size_t> row_perm_;
+  std::vector<std::size_t> col_perm_;
+  std::vector<std::size_t> inv_row_perm_;
+  std::vector<std::size_t> inv_col_perm_;
+  bool dirty_ = true;
+};
+
+}  // namespace refit

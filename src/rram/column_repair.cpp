@@ -1,0 +1,59 @@
+#include "rram/column_repair.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace refit {
+
+std::vector<std::size_t> column_fault_counts(const Crossbar& xbar) {
+  std::vector<std::size_t> counts(xbar.cols(), 0);
+  for (std::size_t c = 0; c < xbar.cols(); ++c) {
+    for (std::size_t r = 0; r < xbar.rows(); ++r) {
+      if (xbar.is_stuck(r, c)) ++counts[c];
+    }
+  }
+  return counts;
+}
+
+RepairOutcome simulate_column_repair(const Crossbar& xbar,
+                                     std::size_t spare_columns,
+                                     double spare_cell_fault_probability,
+                                     Rng& rng) {
+  REFIT_CHECK(spare_cell_fault_probability >= 0.0 &&
+              spare_cell_fault_probability <= 1.0);
+  RepairOutcome out;
+  out.total_columns = xbar.cols();
+
+  const std::vector<std::size_t> counts = column_fault_counts(xbar);
+  std::vector<std::size_t> faulty;  // column indices with ≥1 stuck cell
+  for (std::size_t c = 0; c < counts.size(); ++c) {
+    if (counts[c] > 0) faulty.push_back(c);
+  }
+  out.faulty_columns = faulty.size();
+
+  // Spares come from the same process: a spare is usable only if every one
+  // of its cells came out fault-free.
+  for (std::size_t s = 0; s < spare_columns; ++s) {
+    bool clean = true;
+    for (std::size_t r = 0; r < xbar.rows(); ++r) {
+      if (rng.bernoulli(spare_cell_fault_probability)) {
+        clean = false;
+        break;
+      }
+    }
+    if (clean) ++out.usable_spares;
+  }
+
+  // Repair worst columns first (each repair needs one clean spare).
+  std::sort(faulty.begin(), faulty.end(),
+            [&](std::size_t a, std::size_t b) { return counts[a] > counts[b]; });
+  out.repaired_columns = std::min(out.usable_spares, faulty.size());
+  for (std::size_t i = out.repaired_columns; i < faulty.size(); ++i) {
+    ++out.residual_faulty_columns;
+    out.residual_faulty_cells += counts[faulty[i]];
+  }
+  return out;
+}
+
+}  // namespace refit

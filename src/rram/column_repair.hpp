@@ -1,0 +1,53 @@
+// Redundant-column repair — the traditional memory-repair baseline the
+// paper argues cannot save an RCS (§1): spare columns replace columns that
+// contain faulty cells, but (a) the compute unit of an RCS is a whole
+// column, so a single stuck cell condemns the entire column, (b) spares
+// come from the same fabrication process and are faulty at the same per-
+// cell rate, and (c) spares wear out under writes like any other column.
+//
+// This module quantifies (a) and (b): given a crossbar's fault state and a
+// spare budget, how many faulty columns can actually be replaced by
+// fault-free spares, and what residual fault rate remains?
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "rram/crossbar.hpp"
+
+namespace refit {
+
+/// Result of a column-repair attempt.
+struct RepairOutcome {
+  std::size_t total_columns = 0;
+  std::size_t faulty_columns = 0;     ///< columns containing ≥1 stuck cell
+  std::size_t usable_spares = 0;      ///< fault-free spare columns
+  std::size_t repaired_columns = 0;   ///< faulty columns actually replaced
+  std::size_t residual_faulty_columns = 0;
+  std::size_t residual_faulty_cells = 0;
+
+  /// Fraction of columns still compromised after repair.
+  [[nodiscard]] double residual_column_fraction() const {
+    if (total_columns == 0) return 0.0;
+    return static_cast<double>(residual_faulty_columns) /
+           static_cast<double>(total_columns);
+  }
+};
+
+/// Simulate replacing faulty columns with spare columns.
+///
+/// Spares are modeled as `spare_columns` extra columns whose cells are
+/// faulty i.i.d. with probability `spare_cell_fault_probability` (use the
+/// main array's per-cell rate — they come from the same process). A spare
+/// can only substitute a column if the spare itself is completely
+/// fault-free (a faulty spare would corrupt the analog column sum just the
+/// same). Faulty columns are repaired worst-first.
+RepairOutcome simulate_column_repair(const Crossbar& xbar,
+                                     std::size_t spare_columns,
+                                     double spare_cell_fault_probability,
+                                     Rng& rng);
+
+/// Per-column stuck-cell counts of a crossbar (helper, exposed for tests).
+std::vector<std::size_t> column_fault_counts(const Crossbar& xbar);
+
+}  // namespace refit

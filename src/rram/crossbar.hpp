@@ -1,0 +1,146 @@
+// RRAM crossbar array model (S4 in DESIGN.md).
+//
+// Each cell holds a normalized conductance g ∈ [0, 1] (0 = g_off / high
+// resistance, 1 = g_on / low resistance). Writes snap the target to one of
+// `levels` discrete resistance levels (multi-level cell per [17] of the
+// paper, 8 by default) and then add a small Gaussian perturbation — the
+// "write variance" soft-fault source.
+//
+// Hard faults: a cell may be stuck-at-0 (conductance pinned to 0) or
+// stuck-at-1 (pinned to 1), either injected at fabrication
+// (faults.hpp) or caused by endurance wear-out: each cell draws a write
+// budget from a Gaussian endurance model [3]; a write beyond the budget
+// leaves the cell permanently stuck.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace refit {
+
+/// Hard-fault state of a cell.
+enum class FaultKind : std::uint8_t { kNone = 0, kStuckAt0 = 1, kStuckAt1 = 2 };
+
+/// Geometry and write-physics knobs of a crossbar.
+struct CrossbarConfig {
+  std::size_t rows = 128;
+  std::size_t cols = 128;
+  /// Discrete resistance levels a write can target (≥ 2).
+  std::size_t levels = 8;
+  /// Stddev of the analog perturbation after a write (fraction of range).
+  double write_noise_sigma = 0.02;
+  /// Interconnect (IR-drop) loss per wire segment, as a fraction of the
+  /// signal: a cell at row r / column c sees its contribution attenuated
+  /// by 1 / (1 + ratio·(r + c + 2)). 0 disables the model. Larger arrays
+  /// suffer more — the classic argument bounding practical crossbar sizes.
+  double wire_resistance_ratio = 0.0;
+
+  [[nodiscard]] double level_gap() const {
+    return 1.0 / static_cast<double>(levels - 1);
+  }
+};
+
+/// Per-cell write-endurance distribution (Gaussian, per the paper's §6.2.1).
+/// mean == 0 disables wear-out.
+struct EnduranceModel {
+  double mean = 0.0;
+  double stddev = 0.0;
+  /// Probability an endurance failure leaves the cell SA0. Cycling failure
+  /// in filamentary RRAM is dominated by permanent filament rupture (stuck
+  /// high-resistance = SA0); stuck shorts are rare, so this defaults high.
+  double sa0_probability = 0.9;
+
+  static EnduranceModel unlimited() { return {}; }
+  static EnduranceModel gaussian(double mean, double stddev) {
+    return {mean, stddev, 0.9};
+  }
+  [[nodiscard]] bool limited() const { return mean > 0.0; }
+};
+
+/// A single RRAM crossbar tile.
+class Crossbar {
+ public:
+  Crossbar(CrossbarConfig cfg, EnduranceModel endurance, Rng rng);
+
+  [[nodiscard]] const CrossbarConfig& config() const { return cfg_; }
+  [[nodiscard]] std::size_t rows() const { return cfg_.rows; }
+  [[nodiscard]] std::size_t cols() const { return cfg_.cols; }
+
+  /// Program a cell towards target conductance (clamped to [0,1], snapped
+  /// to the nearest level). A write to a stuck cell is a no-op; a write to
+  /// a healthy cell consumes endurance and may wear the cell out.
+  void write(std::size_t r, std::size_t c, double target_g);
+
+  /// Actual analog conductance (stuck cells report their pinned value).
+  [[nodiscard]] double conductance(std::size_t r, std::size_t c) const;
+
+  /// IR-drop attenuation factor of the cell's contribution to an analog
+  /// read-out (1.0 when wire resistance modelling is disabled).
+  [[nodiscard]] double attenuation(std::size_t r, std::size_t c) const;
+
+  /// Conductance as seen by the analog compute/read-out path:
+  /// conductance × attenuation.
+  [[nodiscard]] double effective_conductance(std::size_t r,
+                                             std::size_t c) const;
+
+  /// ADC-quantized read: nearest level index in [0, levels).
+  [[nodiscard]] int read_level(std::size_t r, std::size_t c) const;
+
+  [[nodiscard]] FaultKind fault(std::size_t r, std::size_t c) const;
+  [[nodiscard]] bool is_stuck(std::size_t r, std::size_t c) const {
+    return fault(r, c) != FaultKind::kNone;
+  }
+
+  /// Pin a cell to a hard fault (used by fabrication-fault injection).
+  void force_fault(std::size_t r, std::size_t c, FaultKind kind);
+
+  /// Analog column read: sum of conductances of `row_set` cells in `col`
+  /// (the quiescent-voltage test observable, row-direction test).
+  [[nodiscard]] double sum_conductance_rows(
+      const std::vector<std::size_t>& row_set, std::size_t col) const;
+  /// Transpose-direction test observable.
+  [[nodiscard]] double sum_conductance_cols(
+      const std::vector<std::size_t>& col_set, std::size_t row) const;
+
+  [[nodiscard]] std::uint64_t write_count(std::size_t r, std::size_t c) const;
+  [[nodiscard]] std::uint64_t total_writes() const { return total_writes_; }
+  /// Writes that were suppressed because the cell is stuck.
+  [[nodiscard]] std::uint64_t suppressed_writes() const {
+    return suppressed_writes_;
+  }
+
+  [[nodiscard]] std::size_t fault_count() const { return fault_count_; }
+  [[nodiscard]] double fault_fraction() const;
+  /// Faults caused by endurance wear-out (subset of fault_count()).
+  [[nodiscard]] std::size_t wearout_fault_count() const {
+    return wearout_faults_;
+  }
+
+  /// Checkpointing: serialize the full device state (conductances, faults,
+  /// per-cell wear, RNG) so a simulation can resume bit-exactly.
+  void save(std::ostream& os) const;
+  static Crossbar load(std::istream& is);
+
+ private:
+  [[nodiscard]] std::size_t idx(std::size_t r, std::size_t c) const;
+  /// Snap to the nearest discrete level.
+  [[nodiscard]] double snap(double g) const;
+
+  CrossbarConfig cfg_;
+  EnduranceModel endurance_;
+  Rng rng_;
+  std::vector<double> g_;                    ///< actual conductances
+  std::vector<FaultKind> faults_;
+  std::vector<std::uint32_t> writes_;        ///< per-cell write counters
+  std::vector<std::uint32_t> endurance_limit_;
+  std::uint64_t total_writes_ = 0;
+  std::uint64_t suppressed_writes_ = 0;
+  std::size_t fault_count_ = 0;
+  std::size_t wearout_faults_ = 0;
+};
+
+}  // namespace refit

@@ -1,0 +1,50 @@
+// A dense matrix of fault predictions / ground truth, shared between the
+// detector (which produces predicted maps) and the re-mapping engine
+// (which consumes them).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/check.hpp"
+#include "rram/crossbar.hpp"
+
+namespace refit {
+
+/// Fault state per cell of one logical weight matrix (physical layout).
+class FaultMatrix {
+ public:
+  FaultMatrix() = default;
+  FaultMatrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), m_(rows * cols, FaultKind::kNone) {}
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+  [[nodiscard]] bool empty() const { return m_.empty(); }
+
+  [[nodiscard]] FaultKind at(std::size_t r, std::size_t c) const {
+    REFIT_DCHECK(r < rows_ && c < cols_);
+    return m_[r * cols_ + c];
+  }
+  void set(std::size_t r, std::size_t c, FaultKind k) {
+    REFIT_DCHECK(r < rows_ && c < cols_);
+    m_[r * cols_ + c] = k;
+  }
+  [[nodiscard]] bool faulty(std::size_t r, std::size_t c) const {
+    return at(r, c) != FaultKind::kNone;
+  }
+
+  [[nodiscard]] std::size_t count_faulty() const {
+    std::size_t n = 0;
+    for (auto k : m_)
+      if (k != FaultKind::kNone) ++n;
+    return n;
+  }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<FaultKind> m_;
+};
+
+}  // namespace refit

@@ -1,0 +1,117 @@
+#include "rram/faults.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace refit {
+
+std::vector<std::pair<std::size_t, std::size_t>> sample_fault_sites(
+    std::size_t rows, std::size_t cols, std::size_t count,
+    const FaultInjectionConfig& cfg, Rng& rng) {
+  REFIT_CHECK(rows > 0 && cols > 0);
+  REFIT_CHECK_MSG(count <= rows * cols, "more faults than cells");
+  std::vector<std::pair<std::size_t, std::size_t>> sites;
+  sites.reserve(count);
+  std::vector<bool> used(rows * cols, false);
+
+  if (cfg.spatial == SpatialDistribution::kUniform) {
+    const auto flat = rng.sample_indices(rows * cols, count);
+    for (std::size_t f : flat) {
+      sites.emplace_back(f / cols, f % cols);
+    }
+    return sites;
+  }
+
+  if (cfg.spatial == SpatialDistribution::kLineDefects) {
+    // Fill randomly chosen whole columns and rows (2:1 column bias — the
+    // column is the RCS's computational unit) until the quota is met; the
+    // last partial line is filled from a random offset.
+    std::vector<bool> used(rows * cols, false);
+    std::size_t placed = 0;
+    while (placed < count) {
+      const bool pick_col = rng.bernoulli(2.0 / 3.0);
+      if (pick_col) {
+        const std::size_t c = rng.uniform_index(cols);
+        const std::size_t start = rng.uniform_index(rows);
+        for (std::size_t k = 0; k < rows && placed < count; ++k) {
+          const std::size_t r = (start + k) % rows;
+          if (used[r * cols + c]) continue;
+          used[r * cols + c] = true;
+          sites.emplace_back(r, c);
+          ++placed;
+        }
+      } else {
+        const std::size_t r = rng.uniform_index(rows);
+        const std::size_t start = rng.uniform_index(cols);
+        for (std::size_t k = 0; k < cols && placed < count; ++k) {
+          const std::size_t c = (start + k) % cols;
+          if (used[r * cols + c]) continue;
+          used[r * cols + c] = true;
+          sites.emplace_back(r, c);
+          ++placed;
+        }
+      }
+    }
+    return sites;
+  }
+
+  // Clustered: pick centers, then Gaussian-scatter faults around a random
+  // center; collisions and out-of-range draws are resampled (bounded), with
+  // a uniform fallback so the requested count is always met.
+  REFIT_CHECK(cfg.clusters > 0);
+  std::vector<std::pair<double, double>> centers;
+  centers.reserve(cfg.clusters);
+  for (std::size_t k = 0; k < cfg.clusters; ++k) {
+    centers.emplace_back(rng.uniform(0.0, static_cast<double>(rows)),
+                         rng.uniform(0.0, static_cast<double>(cols)));
+  }
+  const double sigma =
+      cfg.cluster_sigma_fraction * static_cast<double>(std::min(rows, cols));
+  std::size_t placed = 0;
+  const std::size_t max_attempts = count * 64 + 256;
+  std::size_t attempts = 0;
+  while (placed < count && attempts < max_attempts) {
+    ++attempts;
+    const auto& ctr = centers[rng.uniform_index(centers.size())];
+    const double fr = ctr.first + rng.normal(0.0, sigma);
+    const double fc = ctr.second + rng.normal(0.0, sigma);
+    if (fr < 0.0 || fc < 0.0) continue;
+    const auto r = static_cast<std::size_t>(fr);
+    const auto c = static_cast<std::size_t>(fc);
+    if (r >= rows || c >= cols) continue;
+    if (used[r * cols + c]) continue;
+    used[r * cols + c] = true;
+    sites.emplace_back(r, c);
+    ++placed;
+  }
+  // Fallback: fill any shortfall uniformly (dense clusters can saturate).
+  while (placed < count) {
+    const std::size_t f = rng.uniform_index(rows * cols);
+    if (used[f]) continue;
+    used[f] = true;
+    sites.emplace_back(f / cols, f % cols);
+    ++placed;
+  }
+  return sites;
+}
+
+void inject_fabrication_faults(Crossbar& xbar, const FaultInjectionConfig& cfg,
+                               Rng& rng) {
+  REFIT_CHECK(cfg.fraction >= 0.0 && cfg.fraction <= 1.0);
+  const std::size_t total = xbar.rows() * xbar.cols();
+  const auto count = static_cast<std::size_t>(
+      std::llround(cfg.fraction * static_cast<double>(total)));
+  const auto sites =
+      sample_fault_sites(xbar.rows(), xbar.cols(), count, cfg, rng);
+  for (const auto& [r, c] : sites) {
+    if (xbar.is_stuck(r, c)) continue;
+    const FaultKind kind = rng.bernoulli(cfg.sa0_probability)
+                               ? FaultKind::kStuckAt0
+                               : FaultKind::kStuckAt1;
+    xbar.force_fault(r, c, kind);
+  }
+}
+
+}  // namespace refit

@@ -1,0 +1,48 @@
+// Fabrication-fault injection with the spatial distributions the paper
+// evaluates (§6.2.1): uniform, and Gaussian clusters around random fault
+// centers (Stapper's model, paper ref. [19]).
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "rram/crossbar.hpp"
+
+namespace refit {
+
+/// Spatial placement model for fabrication defects.
+///  - kUniform: i.i.d. cell defects.
+///  - kClustered: Gaussian scatter around random fault centers (Stapper
+///    [19]).
+///  - kLineDefects: faults fill entire rows/columns (driver or wordline /
+///    bitline failures) — the spatially structured pattern that makes
+///    neuron re-ordering worthwhile.
+enum class SpatialDistribution { kUniform, kClustered, kLineDefects };
+
+/// Parameters of one fault-injection pass.
+struct FaultInjectionConfig {
+  /// Fraction of cells to make stuck (the paper uses ~10 % post-fab [5]).
+  double fraction = 0.10;
+  SpatialDistribution spatial = SpatialDistribution::kUniform;
+  /// Number of Gaussian fault centers for the clustered model.
+  std::size_t clusters = 4;
+  /// Cluster stddev as a fraction of min(rows, cols).
+  double cluster_sigma_fraction = 0.08;
+  /// Probability a given stuck cell is SA0 (rest are SA1). Reported defect
+  /// data (paper ref. [5]) finds stuck-open/HRS defects dominating
+  /// stuck-short ones, so the default skews towards SA0.
+  double sa0_probability = 0.8;
+};
+
+/// Choose `count` distinct cell coordinates according to the spatial model.
+std::vector<std::pair<std::size_t, std::size_t>> sample_fault_sites(
+    std::size_t rows, std::size_t cols, std::size_t count,
+    const FaultInjectionConfig& cfg, Rng& rng);
+
+/// Pin `fraction` of the crossbar's cells to SA0/SA1. Cells that are
+/// already stuck are skipped (re-injection is idempotent in expectation).
+void inject_fabrication_faults(Crossbar& xbar, const FaultInjectionConfig& cfg,
+                               Rng& rng);
+
+}  // namespace refit

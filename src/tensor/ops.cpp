@@ -1,0 +1,275 @@
+#include "tensor/ops.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace refit {
+
+namespace {
+
+void check_rank2(const Tensor& t, const char* name) {
+  REFIT_CHECK_MSG(t.rank() == 2,
+                  name << " must be rank-2, got " << shape_to_string(t.shape()));
+}
+
+}  // namespace
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  check_rank2(a, "a");
+  check_rank2(b, "b");
+  const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  REFIT_CHECK_MSG(b.dim(0) == k, "inner dims mismatch: " << k << " vs "
+                                                         << b.dim(0));
+  Tensor c({m, n});
+  const float* ap = a.data();
+  const float* bp = b.data();
+  float* cp = c.data();
+  // i-k-j loop order: streams B and C rows, cache-friendly without tiling.
+  for (std::size_t i = 0; i < m; ++i) {
+    const float* arow = ap + i * k;
+    float* crow = cp + i * n;
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      const float av = arow[kk];
+      if (av == 0.0f) continue;
+      const float* brow = bp + kk * n;
+      for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+  return c;
+}
+
+Tensor matmul_tn(const Tensor& a, const Tensor& b) {
+  check_rank2(a, "a");
+  check_rank2(b, "b");
+  const std::size_t k = a.dim(0), m = a.dim(1), n = b.dim(1);
+  REFIT_CHECK_MSG(b.dim(0) == k, "inner dims mismatch in matmul_tn");
+  Tensor c({m, n});
+  const float* ap = a.data();
+  const float* bp = b.data();
+  float* cp = c.data();
+  for (std::size_t kk = 0; kk < k; ++kk) {
+    const float* arow = ap + kk * m;
+    const float* brow = bp + kk * n;
+    for (std::size_t i = 0; i < m; ++i) {
+      const float av = arow[i];
+      if (av == 0.0f) continue;
+      float* crow = cp + i * n;
+      for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+  return c;
+}
+
+Tensor matmul_nt(const Tensor& a, const Tensor& b) {
+  check_rank2(a, "a");
+  check_rank2(b, "b");
+  const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(0);
+  REFIT_CHECK_MSG(b.dim(1) == k, "inner dims mismatch in matmul_nt");
+  Tensor c({m, n});
+  const float* ap = a.data();
+  const float* bp = b.data();
+  float* cp = c.data();
+  for (std::size_t i = 0; i < m; ++i) {
+    const float* arow = ap + i * k;
+    float* crow = cp + i * n;
+    for (std::size_t j = 0; j < n; ++j) {
+      const float* brow = bp + j * k;
+      float acc = 0.0f;
+      for (std::size_t kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
+      crow[j] = acc;
+    }
+  }
+  return c;
+}
+
+Tensor transpose(const Tensor& m) {
+  check_rank2(m, "m");
+  const std::size_t r = m.dim(0), c = m.dim(1);
+  Tensor t({c, r});
+  for (std::size_t i = 0; i < r; ++i)
+    for (std::size_t j = 0; j < c; ++j) t.at(j, i) = m.at(i, j);
+  return t;
+}
+
+void add_row_vector(Tensor& m, const Tensor& bias) {
+  check_rank2(m, "m");
+  REFIT_CHECK(bias.rank() == 1 && bias.dim(0) == m.dim(1));
+  const std::size_t rows = m.dim(0), cols = m.dim(1);
+  float* mp = m.data();
+  const float* bp = bias.data();
+  for (std::size_t i = 0; i < rows; ++i) {
+    float* row = mp + i * cols;
+    for (std::size_t j = 0; j < cols; ++j) row[j] += bp[j];
+  }
+}
+
+Tensor column_sums(const Tensor& m) {
+  check_rank2(m, "m");
+  const std::size_t rows = m.dim(0), cols = m.dim(1);
+  Tensor s({cols});
+  const float* mp = m.data();
+  float* sp = s.data();
+  for (std::size_t i = 0; i < rows; ++i) {
+    const float* row = mp + i * cols;
+    for (std::size_t j = 0; j < cols; ++j) sp[j] += row[j];
+  }
+  return s;
+}
+
+Tensor im2col(const Tensor& input, const ConvGeometry& g) {
+  REFIT_CHECK(input.rank() == 4);
+  const std::size_t batch = input.dim(0);
+  REFIT_CHECK(input.dim(1) == g.in_channels && input.dim(2) == g.in_h &&
+              input.dim(3) == g.in_w);
+  const std::size_t oh = g.out_h(), ow = g.out_w();
+  const std::size_t plen = g.patch_len();
+  Tensor cols({batch * oh * ow, plen});
+  float* cp = cols.data();
+  for (std::size_t n = 0; n < batch; ++n) {
+    for (std::size_t y = 0; y < oh; ++y) {
+      for (std::size_t x = 0; x < ow; ++x) {
+        float* dst = cp + ((n * oh + y) * ow + x) * plen;
+        std::size_t idx = 0;
+        for (std::size_t c = 0; c < g.in_channels; ++c) {
+          for (std::size_t kh = 0; kh < g.kernel; ++kh) {
+            const std::ptrdiff_t in_y =
+                static_cast<std::ptrdiff_t>(y * g.stride + kh) -
+                static_cast<std::ptrdiff_t>(g.pad);
+            for (std::size_t kw = 0; kw < g.kernel; ++kw, ++idx) {
+              const std::ptrdiff_t in_x =
+                  static_cast<std::ptrdiff_t>(x * g.stride + kw) -
+                  static_cast<std::ptrdiff_t>(g.pad);
+              if (in_y < 0 || in_x < 0 ||
+                  in_y >= static_cast<std::ptrdiff_t>(g.in_h) ||
+                  in_x >= static_cast<std::ptrdiff_t>(g.in_w)) {
+                dst[idx] = 0.0f;
+              } else {
+                dst[idx] = input.at4(n, c, static_cast<std::size_t>(in_y),
+                                     static_cast<std::size_t>(in_x));
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return cols;
+}
+
+Tensor col2im(const Tensor& cols, std::size_t batch, const ConvGeometry& g) {
+  REFIT_CHECK(cols.rank() == 2);
+  const std::size_t oh = g.out_h(), ow = g.out_w();
+  const std::size_t plen = g.patch_len();
+  REFIT_CHECK(cols.dim(0) == batch * oh * ow && cols.dim(1) == plen);
+  Tensor input({batch, g.in_channels, g.in_h, g.in_w});
+  const float* cp = cols.data();
+  for (std::size_t n = 0; n < batch; ++n) {
+    for (std::size_t y = 0; y < oh; ++y) {
+      for (std::size_t x = 0; x < ow; ++x) {
+        const float* src = cp + ((n * oh + y) * ow + x) * plen;
+        std::size_t idx = 0;
+        for (std::size_t c = 0; c < g.in_channels; ++c) {
+          for (std::size_t kh = 0; kh < g.kernel; ++kh) {
+            const std::ptrdiff_t in_y =
+                static_cast<std::ptrdiff_t>(y * g.stride + kh) -
+                static_cast<std::ptrdiff_t>(g.pad);
+            for (std::size_t kw = 0; kw < g.kernel; ++kw, ++idx) {
+              const std::ptrdiff_t in_x =
+                  static_cast<std::ptrdiff_t>(x * g.stride + kw) -
+                  static_cast<std::ptrdiff_t>(g.pad);
+              if (in_y >= 0 && in_x >= 0 &&
+                  in_y < static_cast<std::ptrdiff_t>(g.in_h) &&
+                  in_x < static_cast<std::ptrdiff_t>(g.in_w)) {
+                input.at4(n, c, static_cast<std::size_t>(in_y),
+                          static_cast<std::size_t>(in_x)) += src[idx];
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return input;
+}
+
+Tensor rows_to_nchw(const Tensor& rows, std::size_t batch, std::size_t oc,
+                    std::size_t oh, std::size_t ow) {
+  REFIT_CHECK(rows.rank() == 2 && rows.dim(0) == batch * oh * ow &&
+              rows.dim(1) == oc);
+  Tensor out({batch, oc, oh, ow});
+  const float* rp = rows.data();
+  for (std::size_t n = 0; n < batch; ++n)
+    for (std::size_t y = 0; y < oh; ++y)
+      for (std::size_t x = 0; x < ow; ++x) {
+        const float* row = rp + ((n * oh + y) * ow + x) * oc;
+        for (std::size_t c = 0; c < oc; ++c) out.at4(n, c, y, x) = row[c];
+      }
+  return out;
+}
+
+Tensor nchw_to_rows(const Tensor& t) {
+  REFIT_CHECK(t.rank() == 4);
+  const std::size_t batch = t.dim(0), oc = t.dim(1), oh = t.dim(2),
+                    ow = t.dim(3);
+  Tensor rows({batch * oh * ow, oc});
+  float* rp = rows.data();
+  for (std::size_t n = 0; n < batch; ++n)
+    for (std::size_t y = 0; y < oh; ++y)
+      for (std::size_t x = 0; x < ow; ++x) {
+        float* row = rp + ((n * oh + y) * ow + x) * oc;
+        for (std::size_t c = 0; c < oc; ++c) row[c] = t.at4(n, c, y, x);
+      }
+  return rows;
+}
+
+Tensor maxpool2d(const Tensor& input, std::size_t window, std::size_t stride,
+                 std::vector<std::size_t>& argmax) {
+  REFIT_CHECK(input.rank() == 4);
+  const std::size_t batch = input.dim(0), ch = input.dim(1),
+                    ih = input.dim(2), iw = input.dim(3);
+  REFIT_CHECK(ih >= window && iw >= window);
+  const std::size_t oh = (ih - window) / stride + 1;
+  const std::size_t ow = (iw - window) / stride + 1;
+  Tensor out({batch, ch, oh, ow});
+  argmax.assign(out.numel(), 0);
+  std::size_t oi = 0;
+  for (std::size_t n = 0; n < batch; ++n) {
+    for (std::size_t c = 0; c < ch; ++c) {
+      for (std::size_t y = 0; y < oh; ++y) {
+        for (std::size_t x = 0; x < ow; ++x, ++oi) {
+          float best = -std::numeric_limits<float>::infinity();
+          std::size_t best_idx = 0;
+          for (std::size_t wy = 0; wy < window; ++wy) {
+            for (std::size_t wx = 0; wx < window; ++wx) {
+              const std::size_t yy = y * stride + wy;
+              const std::size_t xx = x * stride + wx;
+              const std::size_t flat =
+                  ((n * ch + c) * ih + yy) * iw + xx;
+              const float v = input[flat];
+              if (v > best) {
+                best = v;
+                best_idx = flat;
+              }
+            }
+          }
+          out[oi] = best;
+          argmax[oi] = best_idx;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor maxpool2d_backward(const Tensor& grad_out, const Shape& input_shape,
+                          const std::vector<std::size_t>& argmax) {
+  REFIT_CHECK(grad_out.numel() == argmax.size());
+  Tensor grad_in(input_shape);
+  for (std::size_t i = 0; i < argmax.size(); ++i) {
+    REFIT_DCHECK(argmax[i] < grad_in.numel());
+    grad_in[argmax[i]] += grad_out[i];
+  }
+  return grad_in;
+}
+
+}  // namespace refit

@@ -1,0 +1,96 @@
+// Tests for the redundant-column repair baseline.
+#include "rram/column_repair.hpp"
+
+#include <gtest/gtest.h>
+
+#include "rram/faults.hpp"
+
+namespace refit {
+namespace {
+
+Crossbar make_xbar(std::size_t n, std::uint64_t seed) {
+  CrossbarConfig cfg;
+  cfg.rows = cfg.cols = n;
+  cfg.write_noise_sigma = 0.0;
+  return Crossbar(cfg, EnduranceModel::unlimited(), Rng(seed));
+}
+
+TEST(ColumnRepair, CountsFaultyColumns) {
+  Crossbar xb = make_xbar(8, 1);
+  xb.force_fault(0, 2, FaultKind::kStuckAt0);
+  xb.force_fault(5, 2, FaultKind::kStuckAt1);
+  xb.force_fault(3, 6, FaultKind::kStuckAt0);
+  const auto counts = column_fault_counts(xb);
+  EXPECT_EQ(counts[2], 2u);
+  EXPECT_EQ(counts[6], 1u);
+  EXPECT_EQ(counts[0], 0u);
+}
+
+TEST(ColumnRepair, PerfectSparesRepairEverything) {
+  Crossbar xb = make_xbar(8, 2);
+  xb.force_fault(0, 1, FaultKind::kStuckAt0);
+  xb.force_fault(0, 4, FaultKind::kStuckAt0);
+  Rng rng(3);
+  const RepairOutcome out =
+      simulate_column_repair(xb, /*spares=*/4, /*p_fault=*/0.0, rng);
+  EXPECT_EQ(out.faulty_columns, 2u);
+  EXPECT_EQ(out.usable_spares, 4u);
+  EXPECT_EQ(out.repaired_columns, 2u);
+  EXPECT_EQ(out.residual_faulty_columns, 0u);
+  EXPECT_DOUBLE_EQ(out.residual_column_fraction(), 0.0);
+}
+
+TEST(ColumnRepair, InsufficientSparesLeaveResidual) {
+  Crossbar xb = make_xbar(8, 4);
+  for (std::size_t c = 0; c < 5; ++c)
+    xb.force_fault(c, c, FaultKind::kStuckAt0);
+  Rng rng(5);
+  const RepairOutcome out = simulate_column_repair(xb, 2, 0.0, rng);
+  EXPECT_EQ(out.faulty_columns, 5u);
+  EXPECT_EQ(out.repaired_columns, 2u);
+  EXPECT_EQ(out.residual_faulty_columns, 3u);
+}
+
+TEST(ColumnRepair, WorstColumnsRepairedFirst) {
+  Crossbar xb = make_xbar(8, 6);
+  // Column 3 has three faults, column 5 has one.
+  xb.force_fault(0, 3, FaultKind::kStuckAt0);
+  xb.force_fault(1, 3, FaultKind::kStuckAt0);
+  xb.force_fault(2, 3, FaultKind::kStuckAt0);
+  xb.force_fault(0, 5, FaultKind::kStuckAt0);
+  Rng rng(7);
+  const RepairOutcome out = simulate_column_repair(xb, 1, 0.0, rng);
+  EXPECT_EQ(out.repaired_columns, 1u);
+  // The residual must be the lightly-faulty column.
+  EXPECT_EQ(out.residual_faulty_cells, 1u);
+}
+
+TEST(ColumnRepair, FaultySparesAreUnusable) {
+  Crossbar xb = make_xbar(64, 8);
+  xb.force_fault(0, 0, FaultKind::kStuckAt0);
+  Rng rng(9);
+  // With a 10% per-cell fault rate, P(64-cell spare clean) ≈ 0.1%: spares
+  // are essentially never usable — the paper's §1 argument.
+  const RepairOutcome out = simulate_column_repair(xb, 16, 0.10, rng);
+  EXPECT_LT(out.usable_spares, 3u);
+}
+
+TEST(ColumnRepair, HighFaultRateCondemnsClusteredRepair) {
+  // At the paper's 10% cell fault rate on a 128-row array, virtually every
+  // column contains a fault, so column repair cannot help regardless of
+  // the spare budget.
+  Crossbar xb = make_xbar(128, 10);
+  FaultInjectionConfig fc;
+  fc.fraction = 0.10;
+  Rng rng(11);
+  inject_fabrication_faults(xb, fc, rng);
+  Rng rrng(12);
+  const RepairOutcome out = simulate_column_repair(xb, 32, 0.10, rrng);
+  EXPECT_GT(static_cast<double>(out.faulty_columns) /
+                static_cast<double>(out.total_columns),
+            0.99);
+  EXPECT_GT(out.residual_column_fraction(), 0.9);
+}
+
+}  // namespace
+}  // namespace refit

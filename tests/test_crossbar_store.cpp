@@ -1,0 +1,218 @@
+// Tests for the crossbar-backed weight store (src/rcs/crossbar_store.hpp):
+// weight↔conductance mapping, fault semantics, tiling, permutations,
+// endurance bookkeeping, and the RcsSystem registry.
+#include "rcs/crossbar_store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "rcs/rcs_system.hpp"
+
+namespace refit {
+namespace {
+
+RcsConfig clean_config(std::size_t levels = 64) {
+  RcsConfig cfg;
+  cfg.tile_rows = 16;
+  cfg.tile_cols = 16;
+  cfg.levels = levels;  // fine-grained to keep quantization error tiny
+  cfg.write_noise_sigma = 0.0;
+  cfg.inject_fabrication = false;
+  return cfg;
+}
+
+Tensor ramp(std::size_t r, std::size_t c, float scale = 0.01f) {
+  Tensor t({r, c});
+  for (std::size_t i = 0; i < t.numel(); ++i)
+    t[i] = scale * (static_cast<float>(i % 17) - 8.0f);
+  return t;
+}
+
+TEST(CrossbarStore, EffectiveApproximatesTarget) {
+  const Tensor init = ramp(8, 8);
+  CrossbarWeightStore store(clean_config(256), init, Rng(1));
+  const Tensor& eff = store.effective();
+  for (std::size_t i = 0; i < init.numel(); ++i)
+    EXPECT_NEAR(eff[i], init[i], store.weight_max() / 255.0 + 1e-6);
+}
+
+TEST(CrossbarStore, QuantizationAtCoarseLevels) {
+  const Tensor init = ramp(4, 4);
+  CrossbarWeightStore store(clean_config(8), init, Rng(2));
+  const Tensor& eff = store.effective();
+  const double gap = store.weight_max() / 7.0;
+  for (std::size_t i = 0; i < init.numel(); ++i) {
+    // Effective = sign · (nearest of 8 magnitude levels) · w_max.
+    EXPECT_NEAR(std::fabs(eff[i]),
+                std::round(std::fabs(init[i]) / gap) * gap, 1e-5);
+    if (eff[i] != 0.0f) {
+      EXPECT_EQ(eff[i] > 0.0f, init[i] > 0.0f) << "sign preserved";
+    }
+  }
+}
+
+TEST(CrossbarStore, ApplyDeltaSkipsZeros) {
+  const Tensor init = ramp(4, 4);
+  CrossbarWeightStore store(clean_config(), init, Rng(3));
+  const std::uint64_t w0 = store.write_count();
+  Tensor delta({4, 4});
+  delta.at(1, 1) = 0.01f;
+  delta.at(2, 3) = -0.02f;
+  store.apply_delta(delta);
+  EXPECT_EQ(store.write_count(), w0 + 2);
+  EXPECT_NEAR(store.target().at(1, 1), init.at(1, 1) + 0.01f, 1e-6);
+}
+
+TEST(CrossbarStore, TargetClipsAtWeightMax) {
+  const Tensor init = ramp(4, 4);
+  CrossbarWeightStore store(clean_config(), init, Rng(4));
+  Tensor delta({4, 4});
+  delta.at(0, 0) = 1e6f;
+  store.apply_delta(delta);
+  EXPECT_FLOAT_EQ(store.target().at(0, 0),
+                  static_cast<float>(store.weight_max()));
+}
+
+TEST(CrossbarStore, Sa0ForcesZeroWeight) {
+  const Tensor init = ramp(4, 4, 0.05f);
+  CrossbarWeightStore store(clean_config(), init, Rng(5));
+  store.tile(0, 0).force_fault(1, 1, FaultKind::kStuckAt0);
+  store.invalidate();
+  EXPECT_FLOAT_EQ(store.effective().at(1, 1), 0.0f);
+}
+
+TEST(CrossbarStore, Sa1ForcesMaxMagnitudeWithSign) {
+  Tensor init = ramp(4, 4, 0.05f);
+  init.at(2, 2) = -0.01f;
+  CrossbarWeightStore store(clean_config(), init, Rng(6));
+  store.tile(0, 0).force_fault(2, 2, FaultKind::kStuckAt1);
+  store.invalidate();
+  EXPECT_FLOAT_EQ(store.effective().at(2, 2),
+                  -static_cast<float>(store.weight_max()));
+}
+
+TEST(CrossbarStore, TilingCoversMatrixExactly) {
+  const Tensor init = ramp(40, 25);
+  CrossbarWeightStore store(clean_config(), init, Rng(7));
+  EXPECT_EQ(store.tile_grid_rows(), 3u);  // 16+16+8
+  EXPECT_EQ(store.tile_grid_cols(), 2u);  // 16+9
+  EXPECT_EQ(store.tile(2, 1).rows(), 8u);
+  EXPECT_EQ(store.tile(2, 1).cols(), 9u);
+  std::size_t cells = 0;
+  for (std::size_t ti = 0; ti < 3; ++ti)
+    for (std::size_t tj = 0; tj < 2; ++tj)
+      cells += store.tile(ti, tj).rows() * store.tile(ti, tj).cols();
+  EXPECT_EQ(cells, 40u * 25u);
+}
+
+TEST(CrossbarStore, FabricationFaultsRoughlyMatchFraction) {
+  RcsConfig cfg = clean_config();
+  cfg.inject_fabrication = true;
+  cfg.fabrication.fraction = 0.10;
+  CrossbarWeightStore store(cfg, ramp(64, 64), Rng(8));
+  EXPECT_NEAR(store.fault_fraction(), 0.10, 0.02);
+}
+
+TEST(CrossbarStore, PermutationRelocatesCells) {
+  const Tensor init = ramp(6, 6, 0.05f);
+  CrossbarWeightStore store(clean_config(256), init, Rng(9));
+  // Make physical column 0 entirely SA0.
+  for (std::size_t r = 0; r < 6; ++r)
+    store.tile(0, 0).force_fault(r, 0, FaultKind::kStuckAt0);
+  store.invalidate();
+  // Initially logical column 0 reads zero.
+  EXPECT_FLOAT_EQ(store.effective().at(2, 0), 0.0f);
+  // Move logical column 0 to physical column 5 and vice versa.
+  std::vector<std::size_t> rp(6), cp(6);
+  std::iota(rp.begin(), rp.end(), 0);
+  std::iota(cp.begin(), cp.end(), 0);
+  std::swap(cp[0], cp[5]);
+  store.set_permutations(rp, cp);
+  // Logical column 0 now lives on healthy cells…
+  EXPECT_NEAR(store.effective().at(2, 0), init.at(2, 0),
+              store.weight_max() / 100.0);
+  // …and logical column 5 absorbed the SA0 column.
+  EXPECT_FLOAT_EQ(store.effective().at(2, 5), 0.0f);
+}
+
+TEST(CrossbarStore, PermutationValidation) {
+  CrossbarWeightStore store(clean_config(), ramp(4, 4), Rng(10));
+  std::vector<std::size_t> rp{0, 1, 2, 3};
+  EXPECT_THROW(store.set_permutations(rp, {0, 0, 1, 2}), CheckError);
+  EXPECT_THROW(store.set_permutations({0, 1, 2}, rp), CheckError);
+}
+
+TEST(CrossbarStore, IdentityPermutationCostsNoWrites) {
+  CrossbarWeightStore store(clean_config(), ramp(4, 4), Rng(11));
+  const std::uint64_t w0 = store.write_count();
+  std::vector<std::size_t> id{0, 1, 2, 3};
+  store.set_permutations(id, id);
+  EXPECT_EQ(store.write_count(), w0);
+}
+
+TEST(CrossbarStore, PermutationRewritesMovedCellsOnly) {
+  CrossbarWeightStore store(clean_config(), ramp(4, 4), Rng(12));
+  const std::uint64_t w0 = store.write_count();
+  std::vector<std::size_t> rp{0, 1, 2, 3}, cp{1, 0, 2, 3};
+  store.set_permutations(rp, cp);
+  EXPECT_EQ(store.write_count(), w0 + 8);  // two moved columns × 4 rows
+}
+
+TEST(CrossbarStore, ExpectedGFollowsPermutation) {
+  Tensor init({2, 2}, std::vector<float>{0.1f, 0.0f, 0.0f, 0.0f});
+  CrossbarWeightStore store(clean_config(256), init, Rng(13));
+  EXPECT_GT(store.expected_g(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(store.expected_g(0, 1), 0.0);
+  store.set_permutations({0, 1}, {1, 0});
+  // Logical (0,0) now lives at physical (0,1).
+  EXPECT_GT(store.expected_g(0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(store.expected_g(0, 0), 0.0);
+}
+
+TEST(CrossbarStore, CellWriteCountTracksLogicalCell) {
+  CrossbarWeightStore store(clean_config(), ramp(4, 4), Rng(14));
+  Tensor delta({4, 4});
+  delta.at(0, 0) = 0.01f;
+  store.apply_delta(delta);
+  store.apply_delta(delta);
+  EXPECT_EQ(store.cell_write_count(0, 0), 3u);  // init + 2 updates
+  EXPECT_EQ(store.cell_write_count(1, 1), 1u);  // init only
+}
+
+TEST(CrossbarStore, TrueFaultMatrixMatchesTiles) {
+  RcsConfig cfg = clean_config();
+  cfg.inject_fabrication = true;
+  cfg.fabrication.fraction = 0.2;
+  CrossbarWeightStore store(cfg, ramp(20, 20), Rng(15));
+  const FaultMatrix fm = store.true_fault_matrix();
+  EXPECT_EQ(fm.count_faulty(), store.fault_count());
+  for (std::size_t r = 0; r < 20; ++r)
+    for (std::size_t c = 0; c < 20; ++c)
+      EXPECT_EQ(fm.at(r, c), store.true_fault(r, c));
+}
+
+TEST(RcsSystem, FactoryRegistersStores) {
+  RcsSystem sys(clean_config(), Rng(16));
+  auto factory = sys.factory();
+  auto s1 = factory("layer1", ramp(8, 8));
+  auto s2 = factory("layer2", ramp(4, 4));
+  EXPECT_EQ(sys.stores().size(), 2u);
+  EXPECT_EQ(sys.cell_count(), 64u + 16u);
+  EXPECT_GT(sys.total_device_writes(), 0u);
+  EXPECT_DOUBLE_EQ(sys.fault_fraction(), 0.0);
+}
+
+TEST(RcsSystem, AggregateWriteStats) {
+  RcsSystem sys(clean_config(), Rng(17));
+  auto factory = sys.factory();
+  auto s = factory("l", ramp(4, 4));
+  const double before = sys.mean_writes_per_cell();
+  Tensor delta({4, 4}, 0.01f);
+  s->apply_delta(delta);
+  EXPECT_GT(sys.mean_writes_per_cell(), before);
+}
+
+}  // namespace
+}  // namespace refit

@@ -1,0 +1,67 @@
+// Tests for the CSV series printer and the logger.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/csv.hpp"
+#include "common/log.hpp"
+
+namespace refit {
+namespace {
+
+TEST(SeriesPrinterTest, EmitsExperimentHeader) {
+  std::ostringstream os;
+  SeriesPrinter p(os, "TEST exp");
+  EXPECT_EQ(os.str(), "# experiment: TEST exp\n");
+}
+
+TEST(SeriesPrinterTest, PaperReferenceAndComment) {
+  std::ostringstream os;
+  SeriesPrinter p(os, "X");
+  p.paper_reference("reports 42%");
+  p.comment("note");
+  EXPECT_NE(os.str().find("# paper: reports 42%\n"), std::string::npos);
+  EXPECT_NE(os.str().find("# note\n"), std::string::npos);
+}
+
+TEST(SeriesPrinterTest, HeaderAndRows) {
+  std::ostringstream os;
+  SeriesPrinter p(os, "X");
+  p.header({"a", "b"});
+  p.row({1.0, 2.5});
+  p.row("label", {0.125});
+  const std::string s = os.str();
+  EXPECT_NE(s.find("# columns: a,b\n"), std::string::npos);
+  EXPECT_NE(s.find("1.0,2.5\n"), std::string::npos);
+  EXPECT_NE(s.find("label,0.125\n"), std::string::npos);
+}
+
+TEST(FormatDouble, TrimsTrailingZeros) {
+  EXPECT_EQ(format_double(1.0), "1.0");
+  EXPECT_EQ(format_double(0.25), "0.25");
+  EXPECT_EQ(format_double(0.12345), "0.1235");  // 4 decimals default
+  EXPECT_EQ(format_double(3.14159, 2), "3.14");
+  EXPECT_EQ(format_double(-2.5), "-2.5");
+}
+
+TEST(Log, LevelFiltering) {
+  const LogLevel saved = log_level();
+  set_log_level(LogLevel::kWarn);
+  EXPECT_EQ(log_level(), LogLevel::kWarn);
+  set_log_level(LogLevel::kDebug);
+  EXPECT_EQ(log_level(), LogLevel::kDebug);
+  set_log_level(saved);
+}
+
+TEST(Log, MacroCompilesAndRespectsLevel) {
+  const LogLevel saved = log_level();
+  set_log_level(LogLevel::kError);
+  // These must be filtered (no crash, no output assertion needed).
+  REFIT_DEBUG("debug " << 1);
+  REFIT_INFO("info " << 2);
+  REFIT_WARN("warn " << 3);
+  set_log_level(saved);
+}
+
+}  // namespace
+}  // namespace refit

@@ -1,0 +1,205 @@
+// Tests for the quiescent-voltage comparison detector (src/detect).
+#include "detect/quiescent_detector.hpp"
+
+#include <gtest/gtest.h>
+
+#include "rram/faults.hpp"
+
+namespace refit {
+namespace {
+
+Crossbar make_xbar(std::size_t n, std::uint64_t seed,
+                   double noise_sigma = 0.0) {
+  CrossbarConfig cfg;
+  cfg.rows = n;
+  cfg.cols = n;
+  cfg.levels = 8;
+  cfg.write_noise_sigma = noise_sigma;
+  return Crossbar(cfg, EnduranceModel::unlimited(), Rng(seed));
+}
+
+DetectorConfig small_config(std::size_t tr = 4) {
+  DetectorConfig cfg;
+  cfg.test_rows_per_cycle = tr;
+  cfg.modulo_divisor = 16;
+  cfg.selected_cells_only = true;
+  cfg.use_constraint_propagation = true;
+  return cfg;
+}
+
+/// Populate the crossbar and inject faults the way a trained array looks.
+void prepare(Crossbar& xb, double fault_fraction, Rng& rng,
+             double p_low = 0.3, double p_high = 0.2) {
+  randomize_crossbar_content(xb, p_low, p_high, rng);
+  FaultInjectionConfig fc;
+  fc.fraction = fault_fraction;
+  inject_fabrication_faults(xb, fc, rng);
+}
+
+TEST(Detector, CleanCrossbarNoFalsePositivesNoiseless) {
+  Rng rng(1);
+  Crossbar xb = make_xbar(16, 2);
+  randomize_crossbar_content(xb, 0.3, 0.2, rng);
+  const QuiescentVoltageDetector det(small_config());
+  const DetectionOutcome out = det.detect(xb);
+  const ConfusionCounts cc = evaluate_detection(xb, out.predicted);
+  EXPECT_EQ(cc.fp, 0u);
+  EXPECT_EQ(cc.tp, 0u);
+}
+
+TEST(Detector, PerfectRecallNoiseless) {
+  // Without write noise and with 10 % faults, every stuck cell produces a
+  // residue; recall must be 1 (no aliasing at these densities).
+  Rng rng(3);
+  Crossbar xb = make_xbar(32, 4);
+  prepare(xb, 0.10, rng);
+  const QuiescentVoltageDetector det(small_config());
+  const DetectionOutcome out = det.detect(xb);
+  const ConfusionCounts cc = evaluate_detection(xb, out.predicted);
+  EXPECT_DOUBLE_EQ(cc.recall(), 1.0);
+  EXPECT_GT(cc.precision(), 0.7);
+}
+
+TEST(Detector, RestoresTrainingWeights) {
+  Rng rng(5);
+  Crossbar xb = make_xbar(16, 6);
+  randomize_crossbar_content(xb, 0.3, 0.2, rng);
+  std::vector<int> before;
+  for (std::size_t r = 0; r < 16; ++r)
+    for (std::size_t c = 0; c < 16; ++c) before.push_back(xb.read_level(r, c));
+  const QuiescentVoltageDetector det(small_config());
+  det.detect(xb);
+  std::size_t i = 0;
+  for (std::size_t r = 0; r < 16; ++r)
+    for (std::size_t c = 0; c < 16; ++c)
+      EXPECT_EQ(xb.read_level(r, c), before[i++]) << "cell " << r << "," << c;
+}
+
+TEST(Detector, CycleCountMatchesFormula) {
+  // With selection disabled, T = 2·(ceil(C/Tr) + ceil(C/Tc)) for the two
+  // fault-type passes.
+  Rng rng(7);
+  Crossbar xb = make_xbar(32, 8);
+  randomize_crossbar_content(xb, 0.3, 0.2, rng);
+  DetectorConfig cfg = small_config(8);
+  cfg.selected_cells_only = false;
+  const QuiescentVoltageDetector det(cfg);
+  const DetectionOutcome out = det.detect(xb);
+  EXPECT_EQ(out.cycles, 2u * (32 / 8 + 32 / 8));
+}
+
+TEST(Detector, SelectionReducesCyclesAndCellsTested) {
+  Rng rng(9);
+  Crossbar a = make_xbar(32, 10);
+  Crossbar b = make_xbar(32, 10);  // identical content (same seed)
+  prepare(a, 0.1, rng);
+  Rng rng2(9);
+  prepare(b, 0.1, rng2);
+  DetectorConfig sel = small_config(8);
+  DetectorConfig all = small_config(8);
+  all.selected_cells_only = false;
+  const DetectionOutcome so = QuiescentVoltageDetector(sel).detect(a);
+  const DetectionOutcome ao = QuiescentVoltageDetector(all).detect(b);
+  EXPECT_LT(so.cells_tested, ao.cells_tested);
+  EXPECT_LE(so.cycles, ao.cycles);
+}
+
+TEST(Detector, SelectionImprovesPrecisionUnderNoise) {
+  // §4.3: testing only plausible cells removes a large class of false
+  // positives. Evaluate over several seeds with analog write noise.
+  double prec_sel = 0.0, prec_all = 0.0;
+  int n = 0;
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    Rng rng(100 + seed);
+    Crossbar a = make_xbar(48, 200 + seed, 0.01);
+    prepare(a, 0.10, rng);
+    Rng rng2(100 + seed);
+    Crossbar b = make_xbar(48, 200 + seed, 0.01);
+    prepare(b, 0.10, rng2);
+    DetectorConfig sel = small_config(12);
+    DetectorConfig all = small_config(12);
+    all.selected_cells_only = false;
+    const auto so = QuiescentVoltageDetector(sel).detect(a);
+    const auto ao = QuiescentVoltageDetector(all).detect(b);
+    prec_sel += evaluate_detection(a, so.predicted).precision();
+    prec_all += evaluate_detection(b, ao.predicted).precision();
+    ++n;
+  }
+  EXPECT_GT(prec_sel / n, prec_all / n);
+}
+
+TEST(Detector, SmallerTestSizeImprovesPrecision) {
+  // The paper's core trade-off: more cycles (smaller Tr) → higher precision.
+  auto precision_at = [&](std::size_t tr) {
+    double p = 0.0;
+    for (std::uint64_t seed = 0; seed < 4; ++seed) {
+      Rng rng(300 + seed);
+      Crossbar xb = make_xbar(64, 400 + seed, 0.01);
+      prepare(xb, 0.10, rng);
+      DetectorConfig cfg = small_config(tr);
+      cfg.use_constraint_propagation = false;  // isolate the group effect
+      const auto out = QuiescentVoltageDetector(cfg).detect(xb);
+      p += evaluate_detection(xb, out.predicted).precision();
+    }
+    return p / 4.0;
+  };
+  EXPECT_GT(precision_at(2), precision_at(32));
+}
+
+TEST(Detector, RecallStaysHighUnderNoise) {
+  Rng rng(11);
+  Crossbar xb = make_xbar(64, 12, 0.01);
+  prepare(xb, 0.10, rng);
+  const QuiescentVoltageDetector det(small_config(8));
+  const DetectionOutcome out = det.detect(xb);
+  const ConfusionCounts cc = evaluate_detection(xb, out.predicted);
+  EXPECT_GT(cc.recall(), 0.85);  // paper reports > 0.87
+}
+
+TEST(Detector, DeviceWritesBounded) {
+  // Each pass pulses each candidate twice (test + restore), and candidates
+  // of the two passes are disjoint, so writes ≤ 2 · cells.
+  Rng rng(13);
+  Crossbar xb = make_xbar(16, 14);
+  prepare(xb, 0.1, rng);
+  const QuiescentVoltageDetector det(small_config());
+  const DetectionOutcome out = det.detect(xb);
+  EXPECT_LE(out.device_writes, 2u * 16 * 16);
+  EXPECT_EQ(out.device_writes, 2u * out.cells_tested);
+}
+
+TEST(Detector, DetectStoreAssemblesTiles) {
+  RcsConfig cfg;
+  cfg.tile_rows = 8;
+  cfg.tile_cols = 8;
+  cfg.levels = 8;
+  cfg.write_noise_sigma = 0.0;
+  cfg.inject_fabrication = true;
+  cfg.fabrication.fraction = 0.1;
+  Rng wrng(15);
+  CrossbarWeightStore store(cfg, Tensor::randn({20, 12}, wrng, 0.05f),
+                            Rng(16));
+  const QuiescentVoltageDetector det(small_config());
+  const DetectionOutcome out = det.detect_store(store);
+  EXPECT_EQ(out.predicted.rows(), 20u);
+  EXPECT_EQ(out.predicted.cols(), 12u);
+  const ConfusionCounts cc = evaluate_detection(store, out.predicted);
+  EXPECT_GT(cc.recall(), 0.9);
+}
+
+TEST(RandomizeContent, FractionsRespected) {
+  Rng rng(17);
+  Crossbar xb = make_xbar(64, 18);
+  randomize_crossbar_content(xb, 0.3, 0.2, rng);
+  int low = 0, high = 0;
+  for (std::size_t r = 0; r < 64; ++r)
+    for (std::size_t c = 0; c < 64; ++c) {
+      low += xb.read_level(r, c) == 0;
+      high += xb.read_level(r, c) == 7;
+    }
+  EXPECT_NEAR(low / 4096.0, 0.3, 0.03);
+  EXPECT_NEAR(high / 4096.0, 0.2, 0.03);
+}
+
+}  // namespace
+}  // namespace refit

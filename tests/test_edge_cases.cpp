@@ -1,0 +1,133 @@
+// Edge-case coverage: non-square crossbars, single-row/column detection,
+// tiny networks, odd conv geometries, and store boundary conditions.
+#include <gtest/gtest.h>
+
+#include "detect/quiescent_detector.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/dense.hpp"
+#include "nn/loss.hpp"
+#include "rcs/crossbar_store.hpp"
+#include "rram/faults.hpp"
+
+namespace refit {
+namespace {
+
+TEST(EdgeCases, NonSquareCrossbarDetection) {
+  CrossbarConfig cfg;
+  cfg.rows = 40;
+  cfg.cols = 12;
+  cfg.write_noise_sigma = 0.0;
+  Crossbar xb(cfg, EnduranceModel::unlimited(), Rng(1));
+  Rng rng(2);
+  randomize_crossbar_content(xb, 0.3, 0.2, rng);
+  FaultInjectionConfig fc;
+  fc.fraction = 0.1;
+  inject_fabrication_faults(xb, fc, rng);
+  DetectorConfig dc;
+  dc.test_rows_per_cycle = 8;
+  const DetectionOutcome out = QuiescentVoltageDetector(dc).detect(xb);
+  const ConfusionCounts cc = evaluate_detection(xb, out.predicted);
+  EXPECT_DOUBLE_EQ(cc.recall(), 1.0);  // noiseless → no misses
+}
+
+TEST(EdgeCases, SingleRowCrossbar) {
+  CrossbarConfig cfg;
+  cfg.rows = 1;
+  cfg.cols = 16;
+  cfg.write_noise_sigma = 0.0;
+  Crossbar xb(cfg, EnduranceModel::unlimited(), Rng(3));
+  Rng rng(4);
+  randomize_crossbar_content(xb, 0.5, 0.2, rng);
+  xb.force_fault(0, 3, FaultKind::kStuckAt0);
+  DetectorConfig dc;
+  dc.test_rows_per_cycle = 4;
+  const DetectionOutcome out = QuiescentVoltageDetector(dc).detect(xb);
+  EXPECT_TRUE(out.predicted.faulty(0, 3));
+}
+
+TEST(EdgeCases, FullyFaultyCrossbarStillTerminates) {
+  CrossbarConfig cfg;
+  cfg.rows = cfg.cols = 8;
+  Crossbar xb(cfg, EnduranceModel::unlimited(), Rng(5));
+  for (std::size_t r = 0; r < 8; ++r)
+    for (std::size_t c = 0; c < 8; ++c)
+      xb.force_fault(r, c, FaultKind::kStuckAt0);
+  DetectorConfig dc;
+  dc.test_rows_per_cycle = 4;
+  const DetectionOutcome out = QuiescentVoltageDetector(dc).detect(xb);
+  const ConfusionCounts cc = evaluate_detection(xb, out.predicted);
+  EXPECT_GT(cc.recall(), 0.9);
+}
+
+TEST(EdgeCases, OneByOneWeightMatrix) {
+  RcsConfig cfg;
+  cfg.tile_rows = cfg.tile_cols = 4;
+  cfg.inject_fabrication = false;
+  cfg.write_noise_sigma = 0.0;
+  cfg.levels = 256;
+  Tensor init({1, 1}, std::vector<float>{0.1f});
+  CrossbarWeightStore store(cfg, init, Rng(6));
+  EXPECT_NEAR(store.effective().at(0, 0), 0.1f, 0.01f);
+  store.set_permutations({0}, {0});  // identity on a 1×1 is valid
+  Tensor d({1, 1}, std::vector<float>{-0.05f});
+  store.apply_delta(d);
+  EXPECT_NEAR(store.target().at(0, 0), 0.05f, 1e-6f);
+}
+
+TEST(EdgeCases, ConvWithStrideAndNoPadding) {
+  Rng rng(7);
+  Conv2D conv("c", 2, 7, 7, 3, 3, 2, 0, software_store_factory(), rng);
+  EXPECT_EQ(conv.out_h(), 3u);
+  Tensor x = Tensor::randn({2, 2, 7, 7}, rng);
+  Tensor y = conv.forward(x, true);
+  EXPECT_EQ(y.shape(), (Shape{2, 3, 3, 3}));
+  Tensor gx = conv.backward(y);
+  EXPECT_EQ(gx.shape(), x.shape());
+}
+
+TEST(EdgeCases, DenseBatchOfOne) {
+  Rng rng(8);
+  Dense d("fc", 5, 3, software_store_factory(), rng);
+  Tensor x = Tensor::randn({1, 5}, rng);
+  Tensor y = d.forward(x, true);
+  EXPECT_EQ(y.shape(), (Shape{1, 3}));
+  d.backward(y);
+}
+
+TEST(EdgeCases, SoftmaxSingleClassBatch) {
+  Tensor logits({4, 1}, 2.0f);
+  const LossResult r = softmax_cross_entropy(logits, {0, 0, 0, 0});
+  EXPECT_NEAR(r.loss, 0.0, 1e-6);
+  EXPECT_EQ(r.correct, 4u);
+}
+
+TEST(EdgeCases, DetectorOnAllZeroContent) {
+  // A freshly erased crossbar: every cell is an SA0 candidate; the SA1
+  // pass has no candidates at all.
+  CrossbarConfig cfg;
+  cfg.rows = cfg.cols = 16;
+  cfg.write_noise_sigma = 0.0;
+  Crossbar xb(cfg, EnduranceModel::unlimited(), Rng(9));
+  DetectorConfig dc;
+  dc.test_rows_per_cycle = 4;
+  const DetectionOutcome out = QuiescentVoltageDetector(dc).detect(xb);
+  const ConfusionCounts cc = evaluate_detection(xb, out.predicted);
+  EXPECT_EQ(cc.fp, 0u);
+  EXPECT_EQ(out.cells_tested, 256u);  // SA0 pass only
+}
+
+TEST(EdgeCases, StoreWiderThanTall) {
+  RcsConfig cfg;
+  cfg.tile_rows = cfg.tile_cols = 8;
+  cfg.inject_fabrication = false;
+  Rng wrng(10);
+  CrossbarWeightStore store(cfg, Tensor::randn({3, 30}, wrng, 0.1f),
+                            Rng(11));
+  EXPECT_EQ(store.tile_grid_rows(), 1u);
+  EXPECT_EQ(store.tile_grid_cols(), 4u);
+  EXPECT_EQ(store.tile(0, 3).cols(), 6u);
+  EXPECT_EQ(store.effective().shape(), (Shape{3, 30}));
+}
+
+}  // namespace
+}  // namespace refit

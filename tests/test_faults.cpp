@@ -1,0 +1,146 @@
+// Tests for fabrication-fault injection and spatial distributions.
+#include "rram/faults.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "rram/fault_map.hpp"
+
+namespace refit {
+namespace {
+
+Crossbar make_xbar(std::size_t n, Rng rng) {
+  CrossbarConfig cfg;
+  cfg.rows = n;
+  cfg.cols = n;
+  cfg.write_noise_sigma = 0.0;
+  return Crossbar(cfg, EnduranceModel::unlimited(), rng);
+}
+
+TEST(FaultSites, UniformCountAndDistinct) {
+  Rng rng(1);
+  FaultInjectionConfig cfg;
+  const auto sites = sample_fault_sites(64, 64, 400, cfg, rng);
+  EXPECT_EQ(sites.size(), 400u);
+  std::set<std::pair<std::size_t, std::size_t>> s(sites.begin(), sites.end());
+  EXPECT_EQ(s.size(), 400u);
+  for (const auto& [r, c] : sites) {
+    EXPECT_LT(r, 64u);
+    EXPECT_LT(c, 64u);
+  }
+}
+
+TEST(FaultSites, ClusteredCountAndDistinct) {
+  Rng rng(2);
+  FaultInjectionConfig cfg;
+  cfg.spatial = SpatialDistribution::kClustered;
+  cfg.clusters = 3;
+  const auto sites = sample_fault_sites(128, 128, 1000, cfg, rng);
+  EXPECT_EQ(sites.size(), 1000u);
+  std::set<std::pair<std::size_t, std::size_t>> s(sites.begin(), sites.end());
+  EXPECT_EQ(s.size(), 1000u);
+}
+
+TEST(FaultSites, ClusteredIsMoreConcentratedThanUniform) {
+  // Mean pairwise distance of clustered faults must be clearly smaller.
+  Rng rng(3);
+  FaultInjectionConfig ucfg;
+  FaultInjectionConfig ccfg;
+  ccfg.spatial = SpatialDistribution::kClustered;
+  ccfg.clusters = 2;
+  ccfg.cluster_sigma_fraction = 0.05;
+  const auto us = sample_fault_sites(256, 256, 300, ucfg, rng);
+  const auto cs = sample_fault_sites(256, 256, 300, ccfg, rng);
+  auto mean_pair_dist = [](const auto& sites) {
+    double s = 0.0;
+    int n = 0;
+    for (std::size_t i = 0; i < sites.size(); i += 7)
+      for (std::size_t j = i + 1; j < sites.size(); j += 7) {
+        const double dr = static_cast<double>(sites[i].first) -
+                          static_cast<double>(sites[j].first);
+        const double dc = static_cast<double>(sites[i].second) -
+                          static_cast<double>(sites[j].second);
+        s += std::sqrt(dr * dr + dc * dc);
+        ++n;
+      }
+    return s / n;
+  };
+  EXPECT_LT(mean_pair_dist(cs), 0.6 * mean_pair_dist(us));
+}
+
+TEST(FaultSites, MoreFaultsThanCellsThrows) {
+  Rng rng(4);
+  FaultInjectionConfig cfg;
+  EXPECT_THROW(sample_fault_sites(4, 4, 17, cfg, rng), CheckError);
+}
+
+TEST(InjectFaults, FractionRespected) {
+  Rng rng(5);
+  Crossbar xb = make_xbar(64, Rng(6));
+  FaultInjectionConfig cfg;
+  cfg.fraction = 0.10;
+  inject_fabrication_faults(xb, cfg, rng);
+  EXPECT_NEAR(xb.fault_fraction(), 0.10, 5e-4);
+}
+
+TEST(InjectFaults, MixesSa0AndSa1) {
+  Rng rng(7);
+  Crossbar xb = make_xbar(64, Rng(8));
+  FaultInjectionConfig cfg;
+  cfg.fraction = 0.2;
+  cfg.sa0_probability = 0.5;
+  inject_fabrication_faults(xb, cfg, rng);
+  int sa0 = 0, sa1 = 0;
+  for (std::size_t r = 0; r < 64; ++r)
+    for (std::size_t c = 0; c < 64; ++c) {
+      sa0 += xb.fault(r, c) == FaultKind::kStuckAt0;
+      sa1 += xb.fault(r, c) == FaultKind::kStuckAt1;
+    }
+  EXPECT_GT(sa0, 300);
+  EXPECT_GT(sa1, 300);
+  EXPECT_EQ(sa0 + sa1, static_cast<int>(xb.fault_count()));
+}
+
+TEST(InjectFaults, Sa0ProbabilityExtremes) {
+  Rng rng(9);
+  Crossbar xb = make_xbar(32, Rng(10));
+  FaultInjectionConfig cfg;
+  cfg.fraction = 0.3;
+  cfg.sa0_probability = 1.0;
+  inject_fabrication_faults(xb, cfg, rng);
+  for (std::size_t r = 0; r < 32; ++r)
+    for (std::size_t c = 0; c < 32; ++c)
+      EXPECT_NE(xb.fault(r, c), FaultKind::kStuckAt1);
+}
+
+TEST(InjectFaults, ZeroFractionIsNoop) {
+  Rng rng(11);
+  Crossbar xb = make_xbar(16, Rng(12));
+  FaultInjectionConfig cfg;
+  cfg.fraction = 0.0;
+  inject_fabrication_faults(xb, cfg, rng);
+  EXPECT_EQ(xb.fault_count(), 0u);
+}
+
+TEST(FaultMatrix, Basics) {
+  FaultMatrix fm(3, 4);
+  EXPECT_EQ(fm.rows(), 3u);
+  EXPECT_EQ(fm.cols(), 4u);
+  EXPECT_EQ(fm.count_faulty(), 0u);
+  fm.set(1, 2, FaultKind::kStuckAt0);
+  fm.set(2, 3, FaultKind::kStuckAt1);
+  EXPECT_TRUE(fm.faulty(1, 2));
+  EXPECT_FALSE(fm.faulty(0, 0));
+  EXPECT_EQ(fm.at(2, 3), FaultKind::kStuckAt1);
+  EXPECT_EQ(fm.count_faulty(), 2u);
+}
+
+TEST(FaultMatrix, DefaultIsEmpty) {
+  FaultMatrix fm;
+  EXPECT_TRUE(fm.empty());
+}
+
+}  // namespace
+}  // namespace refit

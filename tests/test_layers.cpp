@@ -1,0 +1,239 @@
+// Layer tests, including numerical gradient checks for Dense and Conv2D —
+// the correctness backbone of the whole training framework.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "common/rng.hpp"
+#include "nn/activations.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/dense.hpp"
+#include "nn/loss.hpp"
+
+namespace refit {
+namespace {
+
+/// Scalar loss used by the gradient checks: sum of squared outputs / 2,
+/// whose gradient w.r.t. the output is the output itself.
+double half_sq(const Tensor& y) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < y.numel(); ++i)
+    s += 0.5 * static_cast<double>(y[i]) * y[i];
+  return s;
+}
+
+/// Central-difference derivative of half_sq(layer(x)) w.r.t. element `i`
+/// of a tensor accessed through `get`/`set`.
+double numeric_grad(const std::function<double()>& eval,
+                    float* slot, float eps = 1e-3f) {
+  const float orig = *slot;
+  *slot = orig + eps;
+  const double up = eval();
+  *slot = orig - eps;
+  const double down = eval();
+  *slot = orig;
+  return (up - down) / (2.0 * static_cast<double>(eps));
+}
+
+TEST(Dense, ForwardMatchesManualGemm) {
+  Rng rng(1);
+  Dense d("fc", 3, 2, software_store_factory(), rng);
+  d.bias()[0] = 0.5f;
+  Tensor x({1, 3}, std::vector<float>{1, 2, 3});
+  Tensor y = d.forward(x, false);
+  const Tensor& w = d.weights().target();
+  const double expect0 = w.at(0, 0) + 2 * w.at(1, 0) + 3 * w.at(2, 0) + 0.5;
+  EXPECT_NEAR(y.at(0, 0), expect0, 1e-5);
+}
+
+TEST(Dense, InputGradientNumerical) {
+  Rng rng(2);
+  Dense d("fc", 4, 3, software_store_factory(), rng);
+  Tensor x = Tensor::randn({2, 4}, rng);
+  auto eval = [&] { return half_sq(d.forward(x, false)); };
+
+  Tensor y = d.forward(x, true);
+  Tensor gx = d.backward(y);  // dL/dy = y for half_sq
+  for (std::size_t i = 0; i < x.numel(); ++i) {
+    EXPECT_NEAR(gx[i], numeric_grad(eval, &x.vec()[i]), 2e-2)
+        << "input grad " << i;
+  }
+}
+
+TEST(Dense, WeightGradientNumerical) {
+  Rng rng(3);
+  Dense d("fc", 3, 2, software_store_factory(), rng);
+  Tensor x = Tensor::randn({2, 3}, rng);
+  auto eval = [&] { return half_sq(d.forward(x, false)); };
+
+  d.zero_grad();
+  Tensor y = d.forward(x, true);
+  d.backward(y);
+  std::vector<Param> params;
+  d.collect_params(params);
+  ASSERT_EQ(params.size(), 2u);
+  Tensor& wgrad = *params[0].grad;
+  // Mutate weights through the store to probe the numerical gradient.
+  auto* store = dynamic_cast<SoftwareWeightStore*>(params[0].store);
+  ASSERT_NE(store, nullptr);
+  Tensor w = store->target();
+  for (std::size_t i = 0; i < w.numel(); ++i) {
+    auto eval_w = [&] {
+      Tensor probe = w;
+      store->assign(probe);
+      return half_sq(d.forward(x, false));
+    };
+    EXPECT_NEAR(wgrad[i], numeric_grad(eval_w, &w.vec()[i]), 2e-2)
+        << "weight grad " << i;
+  }
+  store->assign(w);
+  (void)eval;
+}
+
+TEST(Dense, BiasGradientIsColumnSum) {
+  Rng rng(4);
+  Dense d("fc", 2, 3, software_store_factory(), rng);
+  Tensor x = Tensor::randn({4, 2}, rng);
+  d.forward(x, true);
+  Tensor gy({4, 3}, 1.0f);
+  d.backward(gy);
+  std::vector<Param> params;
+  d.collect_params(params);
+  const Tensor& bgrad = *params[1].grad;
+  for (std::size_t j = 0; j < 3; ++j) EXPECT_FLOAT_EQ(bgrad[j], 4.0f);
+}
+
+TEST(Dense, GradAccumulatesAcrossBackwards) {
+  Rng rng(5);
+  Dense d("fc", 2, 2, software_store_factory(), rng);
+  Tensor x = Tensor::randn({1, 2}, rng);
+  Tensor gy({1, 2}, 1.0f);
+  d.forward(x, true);
+  d.backward(gy);
+  std::vector<Param> params;
+  d.collect_params(params);
+  const float once = (*params[0].grad)[0];
+  d.forward(x, true);
+  d.backward(gy);
+  EXPECT_FLOAT_EQ((*params[0].grad)[0], 2.0f * once);
+  d.zero_grad();
+  EXPECT_FLOAT_EQ((*params[0].grad)[0], 0.0f);
+}
+
+TEST(Dense, BackwardBeforeForwardThrows) {
+  Rng rng(6);
+  Dense d("fc", 2, 2, software_store_factory(), rng);
+  Tensor gy({1, 2});
+  EXPECT_THROW(d.backward(gy), CheckError);
+}
+
+TEST(Conv2D, ForwardShape) {
+  Rng rng(7);
+  Conv2D conv("c", 3, 8, 8, 5, 3, 1, 1, software_store_factory(), rng);
+  Tensor x = Tensor::randn({2, 3, 8, 8}, rng);
+  Tensor y = conv.forward(x, false);
+  EXPECT_EQ(y.shape(), (Shape{2, 5, 8, 8}));
+}
+
+TEST(Conv2D, StridedShape) {
+  Rng rng(8);
+  Conv2D conv("c", 1, 8, 8, 2, 2, 2, 0, software_store_factory(), rng);
+  Tensor x = Tensor::randn({1, 1, 8, 8}, rng);
+  EXPECT_EQ(conv.forward(x, false).shape(), (Shape{1, 2, 4, 4}));
+}
+
+TEST(Conv2D, InputGradientNumerical) {
+  Rng rng(9);
+  Conv2D conv("c", 2, 4, 4, 3, 3, 1, 1, software_store_factory(), rng);
+  Tensor x = Tensor::randn({1, 2, 4, 4}, rng);
+  auto eval = [&] { return half_sq(conv.forward(x, false)); };
+  Tensor y = conv.forward(x, true);
+  Tensor gx = conv.backward(y);
+  for (std::size_t i = 0; i < x.numel(); i += 3) {  // sample every 3rd
+    EXPECT_NEAR(gx[i], numeric_grad(eval, &x.vec()[i]), 5e-2)
+        << "conv input grad " << i;
+  }
+}
+
+TEST(Conv2D, WeightGradientNumerical) {
+  Rng rng(10);
+  Conv2D conv("c", 1, 3, 3, 2, 3, 1, 1, software_store_factory(), rng);
+  Tensor x = Tensor::randn({2, 1, 3, 3}, rng);
+  conv.zero_grad();
+  conv.forward(x, true);
+  Tensor y = conv.forward(x, true);
+  conv.zero_grad();
+  conv.backward(y);
+  std::vector<Param> params;
+  conv.collect_params(params);
+  auto* store = dynamic_cast<SoftwareWeightStore*>(params[0].store);
+  ASSERT_NE(store, nullptr);
+  Tensor w = store->target();
+  const Tensor& wgrad = *params[0].grad;
+  for (std::size_t i = 0; i < w.numel(); i += 2) {
+    auto eval_w = [&] {
+      store->assign(w);
+      return half_sq(conv.forward(x, false));
+    };
+    EXPECT_NEAR(wgrad[i], numeric_grad(eval_w, &w.vec()[i]), 5e-2)
+        << "conv weight grad " << i;
+  }
+  store->assign(w);
+}
+
+TEST(Conv2D, NeuronGeometry) {
+  Rng rng(11);
+  Conv2D conv("c", 4, 8, 8, 6, 3, 1, 1, software_store_factory(), rng);
+  EXPECT_EQ(conv.in_neurons(), 4u);
+  EXPECT_EQ(conv.out_neurons(), 6u);
+  EXPECT_EQ(conv.rows_per_in_neuron(), 9u);
+  EXPECT_EQ(conv.weights().shape(), (Shape{36, 6}));
+}
+
+TEST(ReLU, ForwardClampsNegatives) {
+  ReLU r("relu");
+  Tensor x({4}, std::vector<float>{-1, 0, 2, -3});
+  Tensor y = r.forward(x, false);
+  EXPECT_FLOAT_EQ(y[0], 0.0f);
+  EXPECT_FLOAT_EQ(y[1], 0.0f);
+  EXPECT_FLOAT_EQ(y[2], 2.0f);
+  EXPECT_FLOAT_EQ(y[3], 0.0f);
+}
+
+TEST(ReLU, BackwardMasksByForwardSign) {
+  ReLU r("relu");
+  Tensor x({4}, std::vector<float>{-1, 0.5f, 2, -3});
+  r.forward(x, true);
+  Tensor gy({4}, 1.0f);
+  Tensor gx = r.backward(gy);
+  EXPECT_FLOAT_EQ(gx[0], 0.0f);
+  EXPECT_FLOAT_EQ(gx[1], 1.0f);
+  EXPECT_FLOAT_EQ(gx[2], 1.0f);
+  EXPECT_FLOAT_EQ(gx[3], 0.0f);
+}
+
+TEST(Flatten, RoundTrip) {
+  Flatten f("flat");
+  Rng rng(12);
+  Tensor x = Tensor::randn({2, 3, 4, 4}, rng);
+  Tensor y = f.forward(x, true);
+  EXPECT_EQ(y.shape(), (Shape{2, 48}));
+  Tensor gx = f.backward(y);
+  EXPECT_EQ(gx.shape(), x.shape());
+  for (std::size_t i = 0; i < x.numel(); ++i) EXPECT_EQ(gx[i], x[i]);
+}
+
+TEST(MaxPoolLayer, ForwardBackward) {
+  MaxPool2D p("pool", 2, 2);
+  Tensor x({1, 1, 2, 2}, std::vector<float>{1, 9, 3, 2});
+  Tensor y = p.forward(x, true);
+  EXPECT_FLOAT_EQ(y[0], 9.0f);
+  Tensor gy({1, 1, 1, 1}, 2.0f);
+  Tensor gx = p.backward(gy);
+  EXPECT_FLOAT_EQ(gx[1], 2.0f);
+  EXPECT_FLOAT_EQ(gx[0], 0.0f);
+}
+
+}  // namespace
+}  // namespace refit

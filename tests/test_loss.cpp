@@ -1,0 +1,112 @@
+// Tests for softmax cross-entropy (src/nn/loss.hpp).
+#include "nn/loss.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace refit {
+namespace {
+
+TEST(Softmax, RowsSumToOne) {
+  Rng rng(1);
+  Tensor logits = Tensor::randn({5, 7}, rng, 3.0f);
+  Tensor p = softmax_rows(logits);
+  for (std::size_t i = 0; i < 5; ++i) {
+    double s = 0.0;
+    for (std::size_t j = 0; j < 7; ++j) {
+      EXPECT_GT(p.at(i, j), 0.0f);
+      s += p.at(i, j);
+    }
+    EXPECT_NEAR(s, 1.0, 1e-5);
+  }
+}
+
+TEST(Softmax, ShiftInvariance) {
+  Tensor a({1, 3}, std::vector<float>{1, 2, 3});
+  Tensor b({1, 3}, std::vector<float>{101, 102, 103});
+  Tensor pa = softmax_rows(a), pb = softmax_rows(b);
+  for (std::size_t j = 0; j < 3; ++j) EXPECT_NEAR(pa[j], pb[j], 1e-6);
+}
+
+TEST(Softmax, NumericallyStableForLargeLogits) {
+  Tensor a({1, 2}, std::vector<float>{1000.0f, 999.0f});
+  Tensor p = softmax_rows(a);
+  EXPECT_TRUE(std::isfinite(p[0]));
+  EXPECT_GT(p[0], p[1]);
+}
+
+TEST(CrossEntropy, UniformLogitsGiveLogC) {
+  Tensor logits({2, 4}, 0.0f);
+  const LossResult r = softmax_cross_entropy(logits, {0, 3});
+  EXPECT_NEAR(r.loss, std::log(4.0), 1e-5);
+}
+
+TEST(CrossEntropy, GradientIsSoftmaxMinusOneHotOverBatch) {
+  Tensor logits({1, 3}, std::vector<float>{0.5f, -0.2f, 1.0f});
+  const Tensor p = softmax_rows(logits);
+  const LossResult r = softmax_cross_entropy(logits, {2});
+  EXPECT_NEAR(r.grad_logits.at(0, 0), p.at(0, 0), 1e-6);
+  EXPECT_NEAR(r.grad_logits.at(0, 2), p.at(0, 2) - 1.0f, 1e-6);
+}
+
+TEST(CrossEntropy, GradientMatchesNumericalDerivative) {
+  Rng rng(2);
+  Tensor logits = Tensor::randn({3, 5}, rng);
+  const std::vector<std::uint8_t> labels{1, 4, 0};
+  const LossResult r = softmax_cross_entropy(logits, labels);
+  const float eps = 1e-3f;
+  for (std::size_t i = 0; i < logits.numel(); ++i) {
+    Tensor up = logits, dn = logits;
+    up[i] += eps;
+    dn[i] -= eps;
+    const double fu = softmax_cross_entropy(up, labels).loss * 3.0;
+    const double fd = softmax_cross_entropy(dn, labels).loss * 3.0;
+    // grad is already divided by batch (3); total loss = mean*3.
+    EXPECT_NEAR(r.grad_logits[i] * 3.0, (fu - fd) / (2.0 * eps), 2e-3);
+  }
+}
+
+TEST(CrossEntropy, GradientRowsSumToZero) {
+  Rng rng(3);
+  Tensor logits = Tensor::randn({4, 6}, rng);
+  const LossResult r =
+      softmax_cross_entropy(logits, {0, 1, 2, 3});
+  for (std::size_t i = 0; i < 4; ++i) {
+    double s = 0.0;
+    for (std::size_t j = 0; j < 6; ++j) s += r.grad_logits.at(i, j);
+    EXPECT_NEAR(s, 0.0, 1e-6);
+  }
+}
+
+TEST(CrossEntropy, CorrectCount) {
+  Tensor logits({2, 3}, std::vector<float>{5, 0, 0, 0, 0, 5});
+  const LossResult r = softmax_cross_entropy(logits, {0, 0});
+  EXPECT_EQ(r.correct, 1u);
+}
+
+TEST(CrossEntropy, LabelOutOfRangeThrows) {
+  Tensor logits({1, 3});
+  EXPECT_THROW(softmax_cross_entropy(logits, {3}), CheckError);
+}
+
+TEST(CrossEntropy, LabelCountMismatchThrows) {
+  Tensor logits({2, 3});
+  EXPECT_THROW(softmax_cross_entropy(logits, {0}), CheckError);
+}
+
+TEST(Accuracy, Basics) {
+  Tensor logits({3, 2}, std::vector<float>{1, 0, 0, 1, 1, 0});
+  EXPECT_NEAR(accuracy(logits, {0, 1, 1}), 2.0 / 3.0, 1e-9);
+}
+
+TEST(Accuracy, PerfectAndZero) {
+  Tensor logits({2, 2}, std::vector<float>{1, 0, 0, 1});
+  EXPECT_DOUBLE_EQ(accuracy(logits, {0, 1}), 1.0);
+  EXPECT_DOUBLE_EQ(accuracy(logits, {1, 0}), 0.0);
+}
+
+}  // namespace
+}  // namespace refit

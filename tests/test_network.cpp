@@ -1,0 +1,158 @@
+// Network container + end-to-end software training tests: the MLP and the
+// VGG-mini CNN must actually learn a separable task.
+#include "nn/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "nn/activations.hpp"
+#include "nn/dense.hpp"
+#include "nn/loss.hpp"
+#include "nn/models.hpp"
+#include "nn/optimizer.hpp"
+
+namespace refit {
+namespace {
+
+/// Tiny 2-class task: class = sign of the first input coordinate.
+void make_toy(Rng& rng, std::size_t n, Tensor& x,
+              std::vector<std::uint8_t>& y) {
+  x = Tensor::randn({n, 4}, rng);
+  y.resize(n);
+  for (std::size_t i = 0; i < n; ++i) y[i] = x.at(i, 0) > 0.0f ? 1 : 0;
+}
+
+TEST(Network, ForwardOnEmptyThrows) {
+  Network net;
+  Tensor x({1, 2});
+  EXPECT_THROW(net.forward(x), CheckError);
+}
+
+TEST(Network, ParamsCollectsAllLayers) {
+  Rng rng(1);
+  Network net = make_mlp({4, 8, 2}, software_store_factory(), rng);
+  const auto params = net.params();
+  EXPECT_EQ(params.size(), 4u);  // 2 dense layers × (W, b)
+  EXPECT_EQ(net.matrix_layers().size(), 2u);
+}
+
+TEST(Network, WeightCount) {
+  Rng rng(2);
+  Network net = make_mlp({10, 5, 3}, software_store_factory(), rng);
+  EXPECT_EQ(net.weight_count(), 10u * 5 + 5 * 3);
+}
+
+TEST(Network, MlpLearnsToyTask) {
+  Rng rng(3);
+  Network net = make_mlp({4, 16, 2}, software_store_factory(), rng);
+  Tensor x;
+  std::vector<std::uint8_t> y;
+  make_toy(rng, 256, x, y);
+
+  const Sgd sgd(LrSchedule{0.1, 1.0, 0, 1e-4});
+  for (int iter = 0; iter < 300; ++iter) {
+    Tensor logits = net.forward(x, true);
+    const LossResult loss = softmax_cross_entropy(logits, y);
+    net.backward(loss.grad_logits);
+    auto params = net.params();
+    sgd.step(params, static_cast<std::size_t>(iter));
+    net.zero_grad();
+  }
+  EXPECT_GT(net.evaluate(x, y), 0.95);
+}
+
+TEST(Network, SgdReducesLoss) {
+  Rng rng(4);
+  Network net = make_mlp({4, 8, 2}, software_store_factory(), rng);
+  Tensor x;
+  std::vector<std::uint8_t> y;
+  make_toy(rng, 64, x, y);
+  const Sgd sgd(LrSchedule{0.05, 1.0, 0, 1e-4});
+  const double loss0 =
+      softmax_cross_entropy(net.forward(x, false), y).loss;
+  for (int iter = 0; iter < 100; ++iter) {
+    Tensor logits = net.forward(x, true);
+    const LossResult loss = softmax_cross_entropy(logits, y);
+    net.backward(loss.grad_logits);
+    auto params = net.params();
+    sgd.step(params, 0);
+    net.zero_grad();
+  }
+  const double loss1 =
+      softmax_cross_entropy(net.forward(x, false), y).loss;
+  EXPECT_LT(loss1, loss0 * 0.5);
+}
+
+TEST(LrSchedule, StepDecay) {
+  const LrSchedule s{0.1, 0.5, 100, 1e-4};
+  EXPECT_DOUBLE_EQ(s.at(0), 0.1);
+  EXPECT_DOUBLE_EQ(s.at(99), 0.1);
+  EXPECT_DOUBLE_EQ(s.at(100), 0.05);
+  EXPECT_DOUBLE_EQ(s.at(250), 0.025);
+}
+
+TEST(LrSchedule, Floor) {
+  const LrSchedule s{0.1, 0.1, 1, 1e-3};
+  EXPECT_DOUBLE_EQ(s.at(10), 1e-3);
+}
+
+TEST(LrSchedule, ConstantWhenDisabled) {
+  const LrSchedule s{0.2, 0.5, 0, 1e-4};
+  EXPECT_DOUBLE_EQ(s.at(1000000), 0.2);
+}
+
+TEST(Models, VggMiniShapes) {
+  Rng rng(5);
+  VggMiniConfig cfg;
+  cfg.in_hw = 16;
+  Network net = make_vgg_mini(cfg, software_store_factory(),
+                              software_store_factory(), rng);
+  Tensor x = Tensor::randn({2, 3, 16, 16}, rng);
+  Tensor logits = net.forward(x, false);
+  EXPECT_EQ(logits.shape(), (Shape{2, 10}));
+  // 4 conv + 3 fc matrix layers by default.
+  EXPECT_EQ(net.matrix_layers().size(), 7u);
+}
+
+TEST(Models, VggMiniBackwardRuns) {
+  Rng rng(6);
+  VggMiniConfig cfg;
+  cfg.in_hw = 8;
+  cfg.conv_channels = {8, 8};
+  cfg.pool_after = {0, 1};
+  cfg.fc_hidden = {16};
+  Network net = make_vgg_mini(cfg, software_store_factory(),
+                              software_store_factory(), rng);
+  Tensor x = Tensor::randn({4, 3, 8, 8}, rng);
+  Tensor logits = net.forward(x, true);
+  const LossResult loss = softmax_cross_entropy(logits, {0, 1, 2, 3});
+  Tensor gx = net.backward(loss.grad_logits);
+  EXPECT_EQ(gx.shape(), x.shape());
+}
+
+TEST(Models, MlpRequiresTwoDims) {
+  Rng rng(7);
+  EXPECT_THROW(make_mlp({5}, software_store_factory(), rng), CheckError);
+}
+
+TEST(SliceBatch, Extracts) {
+  Tensor d({3, 2}, std::vector<float>{1, 2, 3, 4, 5, 6});
+  Tensor s = slice_batch(d, 1, 3);
+  EXPECT_EQ(s.shape(), (Shape{2, 2}));
+  EXPECT_FLOAT_EQ(s.at(0, 0), 3.0f);
+  EXPECT_FLOAT_EQ(s.at(1, 1), 6.0f);
+}
+
+TEST(Evaluate, MatchesAccuracy) {
+  Rng rng(8);
+  Network net = make_mlp({4, 2}, software_store_factory(), rng);
+  Tensor x;
+  std::vector<std::uint8_t> y;
+  make_toy(rng, 50, x, y);
+  const double e = net.evaluate(x, y, 16);
+  const double a = accuracy(net.forward(x, false), y);
+  EXPECT_NEAR(e, a, 1e-12);
+}
+
+}  // namespace
+}  // namespace refit

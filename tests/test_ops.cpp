@@ -1,0 +1,191 @@
+// Unit tests for tensor kernels (src/tensor/ops.hpp): GEMM variants,
+// im2col/col2im adjointness, pooling.
+#include "tensor/ops.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace refit {
+namespace {
+
+TEST(Matmul, Known2x2) {
+  Tensor a({2, 2}, std::vector<float>{1, 2, 3, 4});
+  Tensor b({2, 2}, std::vector<float>{5, 6, 7, 8});
+  Tensor c = matmul(a, b);
+  EXPECT_FLOAT_EQ(c.at(0, 0), 19.0f);
+  EXPECT_FLOAT_EQ(c.at(0, 1), 22.0f);
+  EXPECT_FLOAT_EQ(c.at(1, 0), 43.0f);
+  EXPECT_FLOAT_EQ(c.at(1, 1), 50.0f);
+}
+
+TEST(Matmul, RectangularShapes) {
+  Tensor a({1, 3}, std::vector<float>{1, 2, 3});
+  Tensor b({3, 2}, std::vector<float>{1, 0, 0, 1, 1, 1});
+  Tensor c = matmul(a, b);
+  EXPECT_EQ(c.shape(), (Shape{1, 2}));
+  EXPECT_FLOAT_EQ(c.at(0, 0), 4.0f);
+  EXPECT_FLOAT_EQ(c.at(0, 1), 5.0f);
+}
+
+TEST(Matmul, InnerDimMismatchThrows) {
+  Tensor a({2, 3}), b({2, 3});
+  EXPECT_THROW(matmul(a, b), CheckError);
+}
+
+TEST(Matmul, TransposeVariantsAgree) {
+  Rng rng(1);
+  Tensor a = Tensor::randn({4, 6}, rng);
+  Tensor b = Tensor::randn({6, 5}, rng);
+  Tensor ref = matmul(a, b);
+  // matmul_tn(Aᵀstored, B): store A as [6,4] = aᵀ.
+  Tensor at = transpose(a);
+  Tensor c1 = matmul_tn(at, b);
+  // matmul_nt(A, Bᵀstored): store B as [5,6] = bᵀ.
+  Tensor bt = transpose(b);
+  Tensor c2 = matmul_nt(a, bt);
+  ASSERT_EQ(c1.shape(), ref.shape());
+  ASSERT_EQ(c2.shape(), ref.shape());
+  for (std::size_t i = 0; i < ref.numel(); ++i) {
+    EXPECT_NEAR(c1[i], ref[i], 1e-4);
+    EXPECT_NEAR(c2[i], ref[i], 1e-4);
+  }
+}
+
+TEST(Transpose, Involution) {
+  Rng rng(2);
+  Tensor a = Tensor::randn({3, 7}, rng);
+  Tensor att = transpose(transpose(a));
+  for (std::size_t i = 0; i < a.numel(); ++i) EXPECT_EQ(a[i], att[i]);
+}
+
+TEST(AddRowVector, Broadcasts) {
+  Tensor m({2, 3}, 1.0f);
+  Tensor b({3}, std::vector<float>{1, 2, 3});
+  add_row_vector(m, b);
+  EXPECT_FLOAT_EQ(m.at(0, 0), 2.0f);
+  EXPECT_FLOAT_EQ(m.at(1, 2), 4.0f);
+}
+
+TEST(ColumnSums, Basics) {
+  Tensor m({2, 3}, std::vector<float>{1, 2, 3, 4, 5, 6});
+  Tensor s = column_sums(m);
+  EXPECT_FLOAT_EQ(s[0], 5.0f);
+  EXPECT_FLOAT_EQ(s[1], 7.0f);
+  EXPECT_FLOAT_EQ(s[2], 9.0f);
+}
+
+TEST(ConvGeometry, OutputDims) {
+  ConvGeometry g{3, 16, 16, 3, 1, 1};
+  EXPECT_EQ(g.out_h(), 16u);
+  EXPECT_EQ(g.out_w(), 16u);
+  EXPECT_EQ(g.patch_len(), 27u);
+  ConvGeometry g2{1, 8, 8, 2, 2, 0};
+  EXPECT_EQ(g2.out_h(), 4u);
+}
+
+TEST(Im2col, IdentityKernelGeometry) {
+  // 1×1 kernel, no pad: im2col is a pure reshape.
+  Rng rng(3);
+  Tensor x = Tensor::randn({2, 3, 4, 4}, rng);
+  ConvGeometry g{3, 4, 4, 1, 1, 0};
+  Tensor cols = im2col(x, g);
+  EXPECT_EQ(cols.shape(), (Shape{2 * 16, 3}));
+  // Row (n=0, y=1, x=2), channel 2 must equal x[0,2,1,2].
+  EXPECT_FLOAT_EQ(cols.at(1 * 4 + 2, 2), x.at4(0, 2, 1, 2));
+}
+
+TEST(Im2col, ZeroPadding) {
+  Tensor x({1, 1, 2, 2}, std::vector<float>{1, 2, 3, 4});
+  ConvGeometry g{1, 2, 2, 3, 1, 1};
+  Tensor cols = im2col(x, g);
+  EXPECT_EQ(cols.shape(), (Shape{4, 9}));
+  // Output location (0,0): top-left patch has the corner value at its
+  // center-bottom-right region; the top-left patch element is padding.
+  EXPECT_FLOAT_EQ(cols.at(0, 0), 0.0f);   // padded
+  EXPECT_FLOAT_EQ(cols.at(0, 4), 1.0f);   // center = x(0,0)
+  EXPECT_FLOAT_EQ(cols.at(0, 8), 4.0f);   // bottom-right = x(1,1)
+}
+
+TEST(Col2im, AdjointOfIm2col) {
+  // <im2col(x), y> == <x, col2im(y)> — the defining adjoint property that
+  // makes the convolution backward pass correct.
+  Rng rng(4);
+  const ConvGeometry g{2, 5, 5, 3, 2, 1};
+  Tensor x = Tensor::randn({2, 2, 5, 5}, rng);
+  Tensor cols = im2col(x, g);
+  Tensor y = Tensor::randn(cols.shape(), rng);
+  Tensor back = col2im(y, 2, g);
+  double lhs = 0.0, rhs = 0.0;
+  for (std::size_t i = 0; i < cols.numel(); ++i)
+    lhs += static_cast<double>(cols[i]) * y[i];
+  for (std::size_t i = 0; i < x.numel(); ++i)
+    rhs += static_cast<double>(x[i]) * back[i];
+  EXPECT_NEAR(lhs, rhs, 1e-3);
+}
+
+TEST(RowsNchw, RoundTrip) {
+  Rng rng(5);
+  Tensor t = Tensor::randn({2, 3, 4, 5}, rng);
+  Tensor rows = nchw_to_rows(t);
+  EXPECT_EQ(rows.shape(), (Shape{2 * 4 * 5, 3}));
+  Tensor back = rows_to_nchw(rows, 2, 3, 4, 5);
+  for (std::size_t i = 0; i < t.numel(); ++i) EXPECT_EQ(t[i], back[i]);
+}
+
+TEST(MaxPool, ForwardValues) {
+  Tensor x({1, 1, 2, 2}, std::vector<float>{1, 5, 3, 2});
+  std::vector<std::size_t> argmax;
+  Tensor y = maxpool2d(x, 2, 2, argmax);
+  EXPECT_EQ(y.shape(), (Shape{1, 1, 1, 1}));
+  EXPECT_FLOAT_EQ(y[0], 5.0f);
+  EXPECT_EQ(argmax[0], 1u);
+}
+
+TEST(MaxPool, BackwardScattersToArgmax) {
+  Tensor x({1, 1, 4, 4});
+  for (std::size_t i = 0; i < 16; ++i) x[i] = static_cast<float>(i);
+  std::vector<std::size_t> argmax;
+  Tensor y = maxpool2d(x, 2, 2, argmax);
+  Tensor gy(y.shape(), 1.0f);
+  Tensor gx = maxpool2d_backward(gy, x.shape(), argmax);
+  // Max of each 2×2 window is its bottom-right element.
+  EXPECT_FLOAT_EQ(gx[5], 1.0f);
+  EXPECT_FLOAT_EQ(gx[7], 1.0f);
+  EXPECT_FLOAT_EQ(gx[13], 1.0f);
+  EXPECT_FLOAT_EQ(gx[15], 1.0f);
+  EXPECT_FLOAT_EQ(gx[0], 0.0f);
+  EXPECT_FLOAT_EQ(gx.sum(), 4.0f);
+}
+
+TEST(MaxPool, OverlappingWindows) {
+  Tensor x({1, 1, 3, 3});
+  x.at4(0, 0, 1, 1) = 10.0f;  // center wins every window
+  std::vector<std::size_t> argmax;
+  Tensor y = maxpool2d(x, 2, 1, argmax);
+  EXPECT_EQ(y.shape(), (Shape{1, 1, 2, 2}));
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_FLOAT_EQ(y[i], 10.0f);
+  Tensor gy(y.shape(), 1.0f);
+  Tensor gx = maxpool2d_backward(gy, x.shape(), argmax);
+  EXPECT_FLOAT_EQ(gx.at4(0, 0, 1, 1), 4.0f);  // all four windows accumulate
+}
+
+TEST(MatmulProperty, ZeroSkipsDoNotChangeResult) {
+  // The GEMM kernels skip zero multipliers; a sparse A must give the same
+  // result as a dense reference computed elementwise.
+  Rng rng(6);
+  Tensor a = Tensor::randn({8, 8}, rng);
+  for (std::size_t i = 0; i < a.numel(); i += 3) a[i] = 0.0f;
+  Tensor b = Tensor::randn({8, 8}, rng);
+  Tensor c = matmul(a, b);
+  for (std::size_t i = 0; i < 8; ++i)
+    for (std::size_t j = 0; j < 8; ++j) {
+      double acc = 0.0;
+      for (std::size_t k = 0; k < 8; ++k)
+        acc += static_cast<double>(a.at(i, k)) * b.at(k, j);
+      EXPECT_NEAR(c.at(i, j), acc, 1e-4);
+    }
+}
+
+}  // namespace
+}  // namespace refit

@@ -1,0 +1,249 @@
+// Tests for the neuron re-ordering re-mapper (src/core/remap.hpp).
+#include "core/remap.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "common/rng.hpp"
+#include "nn/dense.hpp"
+#include "nn/models.hpp"
+#include "rcs/rcs_system.hpp"
+
+namespace refit {
+namespace {
+
+RcsConfig clean_rcs() {
+  RcsConfig cfg;
+  cfg.tile_rows = 32;
+  cfg.tile_cols = 32;
+  cfg.levels = 64;
+  cfg.write_noise_sigma = 0.0;
+  cfg.inject_fabrication = false;
+  return cfg;
+}
+
+TEST(InterfaceCostClass, TotalSumsAssignedEntries) {
+  InterfaceCost c(3);
+  c.add(0, 1, 2.0);
+  c.add(1, 0, 3.0);
+  c.add(2, 2, 5.0);
+  EXPECT_DOUBLE_EQ(c.total({1, 0, 2}), 10.0);
+  EXPECT_DOUBLE_EQ(c.total({0, 1, 2}), 5.0);
+}
+
+TEST(Hungarian, SolvesKnown3x3) {
+  InterfaceCost c(3);
+  // cost matrix rows j, cols p:
+  //   [1 2 3]
+  //   [2 4 6]
+  //   [3 6 9]
+  for (std::size_t j = 0; j < 3; ++j)
+    for (std::size_t p = 0; p < 3; ++p)
+      c.add(j, p, static_cast<double>((j + 1) * (p + 1)));
+  const auto perm = hungarian_assignment(c);
+  // Optimal: biggest j gets smallest p: {2,1,0} → 3+4+3 = 10.
+  EXPECT_DOUBLE_EQ(c.total(perm), 10.0);
+}
+
+TEST(Hungarian, ZeroCostKeepsValidPermutation) {
+  InterfaceCost c(5);
+  const auto perm = hungarian_assignment(c);
+  std::vector<bool> seen(5, false);
+  for (auto p : perm) {
+    ASSERT_LT(p, 5u);
+    EXPECT_FALSE(seen[p]);
+    seen[p] = true;
+  }
+}
+
+TEST(Optimizers, AllReachKnownOptimumOnSmallInstance) {
+  Rng rng(1);
+  InterfaceCost c(6);
+  // Diagonal-heavy cost: identity is the worst assignment.
+  for (std::size_t j = 0; j < 6; ++j)
+    for (std::size_t p = 0; p < 6; ++p) c.add(j, p, j == p ? 10.0 : 1.0);
+  const double optimum = 6.0;
+  for (auto algo : {RemapAlgorithm::kGreedySwap, RemapAlgorithm::kGenetic,
+                    RemapAlgorithm::kHungarian}) {
+    RemapConfig cfg;
+    cfg.algorithm = algo;
+    const auto perm = optimize_assignment(c, cfg, rng);
+    EXPECT_DOUBLE_EQ(c.total(perm), optimum)
+        << "algorithm " << static_cast<int>(algo);
+  }
+}
+
+TEST(Optimizers, NoneReturnsIdentity) {
+  Rng rng(2);
+  InterfaceCost c(4);
+  RemapConfig cfg;
+  cfg.algorithm = RemapAlgorithm::kNone;
+  const auto perm = optimize_assignment(c, cfg, rng);
+  for (std::size_t j = 0; j < 4; ++j) EXPECT_EQ(perm[j], j);
+}
+
+TEST(FindInterfaces, MlpChain) {
+  Rng rng(3);
+  RcsSystem sys(clean_rcs(), Rng(4));
+  Network net = make_mlp({16, 12, 10, 4}, sys.factory(), rng);
+  const auto ifaces = find_remap_interfaces(net);
+  ASSERT_EQ(ifaces.size(), 2u);
+  EXPECT_EQ(ifaces[0].neurons, 12u);
+  EXPECT_EQ(ifaces[1].neurons, 10u);
+}
+
+TEST(FindInterfaces, SoftwareOnlyNetworkHasNone) {
+  Rng rng(5);
+  Network net = make_mlp({16, 12, 4}, software_store_factory(), rng);
+  EXPECT_TRUE(find_remap_interfaces(net).empty());
+}
+
+TEST(FindInterfaces, FlattenBoundaryRejected) {
+  Rng rng(6);
+  RcsSystem sys(clean_rcs(), Rng(7));
+  VggMiniConfig cfg;
+  cfg.in_hw = 8;
+  cfg.conv_channels = {8, 8};
+  cfg.pool_after = {0, 1};
+  cfg.fc_hidden = {16, 8};
+  Network net = make_vgg_mini(cfg, sys.factory(), sys.factory(), rng);
+  const auto ifaces = find_remap_interfaces(net);
+  // conv1→conv2 (channels match), fc1→fc2, fc2→fc3; conv2→fc1 is rejected
+  // because flatten changes the neuron count.
+  ASSERT_EQ(ifaces.size(), 3u);
+  EXPECT_EQ(std::string(ifaces[0].producer->kind()), "conv");
+  EXPECT_EQ(std::string(ifaces[1].producer->kind()), "dense");
+}
+
+TEST(Remap, MovesPrunedColumnsOntoSa0Columns) {
+  // Producer 8×8 with physical column 0 fully SA0. Prune logical column 3
+  // entirely. After remap, logical column 3 must sit on physical column 0.
+  Rng rng(8);
+  RcsSystem sys(clean_rcs(), Rng(9));
+  Network net = make_mlp({8, 8, 4}, sys.factory(), rng);
+  auto* store =
+      dynamic_cast<CrossbarWeightStore*>(&net.matrix_layers()[0]->weights());
+  ASSERT_NE(store, nullptr);
+  for (std::size_t r = 0; r < 8; ++r)
+    store->tile(0, 0).force_fault(r, 0, FaultKind::kStuckAt0);
+  store->invalidate();
+
+  DetectedFaults detected;
+  detected.emplace(store, store->true_fault_matrix());
+
+  // Hand-build a prune state via tiny weights in column 3.
+  Tensor w = store->target();
+  for (std::size_t r = 0; r < 8; ++r) w.at(r, 3) = 1e-6f * (r % 2);
+  store->assign(w);
+  PruneConfig pcfg;
+  pcfg.fc_sparsity = 0.12;  // ≈ 8 of 64 weights → exactly column 3
+  PruneState prune = PruneState::compute(net, pcfg);
+
+  RemapConfig rcfg;
+  rcfg.algorithm = RemapAlgorithm::kHungarian;
+  const RemapReport report = remap_network(net, detected, prune, rcfg, rng);
+  EXPECT_EQ(report.interfaces, 1u);
+  EXPECT_LT(report.cost_after, report.cost_before);
+  EXPECT_EQ(store->col_perm()[3], 0u);
+}
+
+TEST(Remap, ConsumerRowBlocksFollowPermutation) {
+  Rng rng(10);
+  RcsSystem sys(clean_rcs(), Rng(11));
+  Network net = make_mlp({8, 6, 4}, sys.factory(), rng);
+  auto* consumer =
+      dynamic_cast<CrossbarWeightStore*>(&net.matrix_layers()[1]->weights());
+  ASSERT_NE(consumer, nullptr);
+  // Make consumer physical row 0 fully faulty so the optimizer wants the
+  // most-pruned neuron there.
+  for (std::size_t c = 0; c < 4; ++c)
+    consumer->tile(0, 0).force_fault(0, c, FaultKind::kStuckAt0);
+  consumer->invalidate();
+
+  DetectedFaults detected;
+  detected.emplace(consumer, consumer->true_fault_matrix());
+  // Prune consumer row 2 (all 4 weights tiny).
+  Tensor w = consumer->target();
+  for (std::size_t c = 0; c < 4; ++c) w.at(2, c) = 0.0f;
+  consumer->assign(w);
+  PruneConfig pcfg;
+  pcfg.fc_sparsity = 0.17;  // ≈ 4 of 24 → row 2
+  PruneState prune = PruneState::compute(net, pcfg);
+
+  RemapConfig rcfg;
+  rcfg.algorithm = RemapAlgorithm::kHungarian;
+  remap_network(net, detected, prune, rcfg, rng);
+  // Neuron 2's row must now live at physical row 0.
+  EXPECT_EQ(consumer->row_perm()[2], 0u);
+}
+
+TEST(Remap, NeverInstallsWorsePlacement) {
+  Rng rng(12);
+  RcsSystem sys(clean_rcs(), Rng(13));
+  Network net = make_mlp({8, 8, 4}, sys.factory(), rng);
+  // No faults detected → zero cost everywhere → permutations unchanged.
+  DetectedFaults detected;
+  PruneConfig pcfg;
+  PruneState prune = PruneState::compute(net, pcfg);
+  RemapConfig rcfg;
+  rcfg.algorithm = RemapAlgorithm::kGreedySwap;
+  const RemapReport report = remap_network(net, detected, prune, rcfg, rng);
+  EXPECT_DOUBLE_EQ(report.cost_before, 0.0);
+  EXPECT_DOUBLE_EQ(report.cost_after, 0.0);
+  auto* store =
+      dynamic_cast<CrossbarWeightStore*>(&net.matrix_layers()[0]->weights());
+  for (std::size_t j = 0; j < 8; ++j) EXPECT_EQ(store->col_perm()[j], j);
+}
+
+TEST(Remap, PaperCostModelIgnoresSa1UnderPruned) {
+  // The two cost models must diverge on an SA1 cell under a pruned weight.
+  Rng rng(14);
+  RcsSystem sys(clean_rcs(), Rng(15));
+  Network net = make_mlp({2, 2, 2}, sys.factory(), rng);
+  auto* store =
+      dynamic_cast<CrossbarWeightStore*>(&net.matrix_layers()[0]->weights());
+  store->tile(0, 0).force_fault(0, 0, FaultKind::kStuckAt1);
+  store->invalidate();
+  DetectedFaults detected;
+  detected.emplace(store, store->true_fault_matrix());
+  Tensor w = store->target();
+  w.at(0, 0) = 0.0f;  // prune the colliding weight
+  w.at(1, 0) = 1e-6f;
+  store->assign(w);
+  PruneConfig pcfg;
+  pcfg.fc_sparsity = 0.5;
+  PruneState prune = PruneState::compute(net, pcfg);
+  const auto ifaces = find_remap_interfaces(net);
+  ASSERT_EQ(ifaces.size(), 1u);
+  const InterfaceCost paper = build_interface_cost(
+      ifaces[0], detected, prune, RemapCostModel::kPaperExact);
+  const InterfaceCost phys = build_interface_cost(
+      ifaces[0], detected, prune, RemapCostModel::kPhysical);
+  // Paper model: pruned-on-SA1 is free; physical model penalizes it.
+  EXPECT_LT(paper.at(0, 0), phys.at(0, 0));
+}
+
+TEST(Remap, GeneticImprovesOverRandomOnStructuredCost) {
+  Rng rng(16);
+  InterfaceCost c(24);
+  Rng crng(17);
+  for (std::size_t j = 0; j < 24; ++j)
+    for (std::size_t p = 0; p < 24; ++p)
+      c.add(j, p, crng.uniform(0.0, 10.0));
+  RemapConfig cfg;
+  cfg.algorithm = RemapAlgorithm::kGenetic;
+  const auto ga = optimize_assignment(c, cfg, rng);
+  cfg.algorithm = RemapAlgorithm::kHungarian;
+  const auto opt = optimize_assignment(c, cfg, rng);
+  std::vector<std::size_t> ident(24);
+  std::iota(ident.begin(), ident.end(), 0);
+  EXPECT_LE(c.total(ga), c.total(ident));
+  EXPECT_GE(c.total(ga), c.total(opt));  // Hungarian is the lower bound
+  // GA should close most of the gap between identity and optimal.
+  EXPECT_LT(c.total(ga) - c.total(opt),
+            0.5 * (c.total(ident) - c.total(opt)));
+}
+
+}  // namespace
+}  // namespace refit

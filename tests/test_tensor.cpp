@@ -1,0 +1,131 @@
+// Unit tests for the Tensor container (src/tensor/tensor.hpp).
+#include "tensor/tensor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace refit {
+namespace {
+
+TEST(Shape, Numel) {
+  EXPECT_EQ(shape_numel({}), 1u);
+  EXPECT_EQ(shape_numel({5}), 5u);
+  EXPECT_EQ(shape_numel({2, 3, 4}), 24u);
+}
+
+TEST(Shape, ToString) {
+  EXPECT_EQ(shape_to_string({2, 3}), "[2, 3]");
+  EXPECT_EQ(shape_to_string({}), "[]");
+}
+
+TEST(Tensor, DefaultIsEmpty) {
+  Tensor t;
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.numel(), 0u);
+}
+
+TEST(Tensor, ZeroInitialized) {
+  Tensor t({3, 4});
+  EXPECT_EQ(t.numel(), 12u);
+  for (std::size_t i = 0; i < t.numel(); ++i) EXPECT_EQ(t[i], 0.0f);
+}
+
+TEST(Tensor, FillConstructor) {
+  Tensor t({2, 2}, 1.5f);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_EQ(t[i], 1.5f);
+}
+
+TEST(Tensor, DataAdoption) {
+  Tensor t({2, 2}, std::vector<float>{1, 2, 3, 4});
+  EXPECT_EQ(t.at(0, 1), 2.0f);
+  EXPECT_EQ(t.at(1, 0), 3.0f);
+}
+
+TEST(Tensor, DataSizeMismatchThrows) {
+  EXPECT_THROW(Tensor({2, 2}, std::vector<float>{1, 2, 3}), CheckError);
+}
+
+TEST(Tensor, RowMajorLayout) {
+  Tensor t({2, 3});
+  t.at(1, 2) = 7.0f;
+  EXPECT_EQ(t[5], 7.0f);
+}
+
+TEST(Tensor, At4Layout) {
+  Tensor t({2, 3, 4, 5});
+  t.at4(1, 2, 3, 4) = 9.0f;
+  EXPECT_EQ(t[((1 * 3 + 2) * 4 + 3) * 5 + 4], 9.0f);
+}
+
+TEST(Tensor, Reshape) {
+  Tensor t({2, 6});
+  t.at(1, 5) = 3.0f;
+  Tensor r = t.reshaped({3, 4});
+  EXPECT_EQ(r.dim(0), 3u);
+  EXPECT_EQ(r[11], 3.0f);
+  EXPECT_THROW(t.reshape({5, 5}), CheckError);
+}
+
+TEST(Tensor, ArithmeticInPlace) {
+  Tensor a({2}, std::vector<float>{1, 2});
+  Tensor b({2}, std::vector<float>{3, 5});
+  a += b;
+  EXPECT_EQ(a[0], 4.0f);
+  EXPECT_EQ(a[1], 7.0f);
+  a -= b;
+  EXPECT_EQ(a[0], 1.0f);
+  a *= 2.0f;
+  EXPECT_EQ(a[1], 4.0f);
+}
+
+TEST(Tensor, ShapeMismatchThrows) {
+  Tensor a({2}), b({3});
+  EXPECT_THROW(a += b, CheckError);
+  EXPECT_THROW(a -= b, CheckError);
+}
+
+TEST(Tensor, SumAndMaxAbs) {
+  Tensor t({3}, std::vector<float>{1.0f, -4.0f, 2.0f});
+  EXPECT_FLOAT_EQ(t.sum(), -1.0f);
+  EXPECT_FLOAT_EQ(t.max_abs(), 4.0f);
+}
+
+TEST(Tensor, FillAndZero) {
+  Tensor t({4});
+  t.fill(2.0f);
+  EXPECT_FLOAT_EQ(t.sum(), 8.0f);
+  t.zero();
+  EXPECT_FLOAT_EQ(t.sum(), 0.0f);
+}
+
+TEST(Tensor, RandnMoments) {
+  Rng rng(1);
+  Tensor t = Tensor::randn({100, 100}, rng, 2.0f);
+  double s = 0.0, s2 = 0.0;
+  for (std::size_t i = 0; i < t.numel(); ++i) {
+    s += t[i];
+    s2 += static_cast<double>(t[i]) * t[i];
+  }
+  const double n = static_cast<double>(t.numel());
+  EXPECT_NEAR(s / n, 0.0, 0.05);
+  EXPECT_NEAR(s2 / n, 4.0, 0.15);
+}
+
+TEST(Tensor, RandUniformRange) {
+  Rng rng(2);
+  Tensor t = Tensor::rand_uniform({1000}, rng, -1.0f, 1.0f);
+  for (std::size_t i = 0; i < t.numel(); ++i) {
+    EXPECT_GE(t[i], -1.0f);
+    EXPECT_LT(t[i], 1.0f);
+  }
+}
+
+TEST(Tensor, DimOutOfRangeThrows) {
+  Tensor t({2, 3});
+  EXPECT_EQ(t.dim(1), 3u);
+  EXPECT_THROW((void)t.dim(2), CheckError);
+}
+
+}  // namespace
+}  // namespace refit

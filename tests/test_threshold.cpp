@@ -1,0 +1,201 @@
+// Tests for threshold training (src/core/threshold_trainer.hpp, Alg. 1).
+#include "core/threshold_trainer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "core/remap.hpp"
+#include "nn/dense.hpp"
+#include "rcs/crossbar_store.hpp"
+#include "rcs/rcs_system.hpp"
+
+namespace refit {
+namespace {
+
+/// A dense layer with a controllable gradient.
+struct Fixture {
+  Rng rng{1};
+  Dense layer{"fc", 4, 4, software_store_factory(), rng};
+  std::vector<Param> params;
+
+  Fixture() { layer.collect_params(params); }
+
+  void set_grad(const Tensor& g) { *params[0].grad = g; }
+};
+
+TEST(Threshold, ZeroRatioAppliesEverything) {
+  Fixture f;
+  Tensor g({4, 4}, 0.001f);
+  f.set_grad(g);
+  const ThresholdTrainer t({0.0, 0.0, true}, LrSchedule{1.0, 1.0, 0, 1e-4});
+  const auto st = t.step(f.params, 0);
+  EXPECT_EQ(st.writes_issued, 16u);
+  EXPECT_EQ(st.writes_suppressed, 0u);
+}
+
+TEST(Threshold, SuppressesSmallUpdates) {
+  Fixture f;
+  Tensor g({4, 4}, 0.0001f);
+  g.at(0, 0) = 1.0f;  // one dominant update
+  f.set_grad(g);
+  const Tensor before = f.params[0].store->target();
+  const ThresholdTrainer t({0.01, 0.0, true}, LrSchedule{1.0, 1.0, 0, 1e-4});
+  const auto st = t.step(f.params, 0);
+  EXPECT_EQ(st.writes_issued, 1u);
+  EXPECT_EQ(st.writes_suppressed, 15u);
+  EXPECT_NEAR(st.dw_max, 1.0, 1e-6);
+  const Tensor& after = f.params[0].store->target();
+  EXPECT_NEAR(after.at(0, 0), before.at(0, 0) - 1.0f, 1e-5);
+  EXPECT_EQ(after.at(1, 1), before.at(1, 1));  // suppressed
+}
+
+TEST(Threshold, ThresholdIsRelativeToDwMax) {
+  Fixture f;
+  Tensor g({4, 4}, 0.0f);
+  g.at(0, 0) = 1.0f;
+  g.at(0, 1) = 0.02f;   // 2 % of max → kept at θ=0.01
+  g.at(0, 2) = 0.005f;  // 0.5 % of max → suppressed
+  f.set_grad(g);
+  const ThresholdTrainer t({0.01, 0.0, true}, LrSchedule{1.0, 1.0, 0, 1e-4});
+  const auto st = t.step(f.params, 0);
+  EXPECT_EQ(st.writes_issued, 2u);
+  EXPECT_EQ(st.writes_suppressed, 1u);
+}
+
+TEST(Threshold, BiasAlwaysUpdated) {
+  Fixture f;
+  Tensor g({4, 4}, 0.0f);
+  f.set_grad(g);
+  (*f.params[1].grad)[0] = 1.0f;  // bias gradient
+  const float b0 = (*f.params[1].value)[0];
+  const ThresholdTrainer t({0.01, 0.0, true}, LrSchedule{0.5, 1.0, 0, 1e-4});
+  t.step(f.params, 0);
+  EXPECT_NEAR((*f.params[1].value)[0], b0 - 0.5f, 1e-6);
+}
+
+TEST(Threshold, PruneMaskBlocksUpdates) {
+  Rng rng(2);
+  Network net;  // minimal network wrapper to get a PruneState
+  net.add(std::make_unique<Dense>("fc", 4, 4, software_store_factory(), rng));
+  PruneConfig pcfg;
+  pcfg.fc_sparsity = 0.5;
+  const PruneState prune = PruneState::compute(net, pcfg);
+  std::vector<Param> params = net.params();
+  Tensor g({4, 4}, 1.0f);
+  *params[0].grad = g;
+  // Tiny nonzero ratio: threshold mode (zero-delta cells are skipped, not
+  // refresh-written as in the original full-array scheme).
+  const ThresholdTrainer t({1e-9, 0.0, true}, LrSchedule{1.0, 1.0, 0, 1e-4});
+  const auto st = t.step(params, 0, &prune);
+  EXPECT_EQ(st.writes_issued, 8u);  // half masked away
+}
+
+TEST(Threshold, OriginalSchemeWritesWholeArray) {
+  // With threshold_ratio == 0 (the paper's original on-line scheme) every
+  // cell receives a programming pulse each step, zero deltas included.
+  Fixture f;
+  Tensor g({4, 4}, 0.0f);
+  g.at(0, 0) = 1.0f;
+  f.set_grad(g);
+  const ThresholdTrainer t({0.0, 0.0, true}, LrSchedule{1.0, 1.0, 0, 1e-4});
+  const auto st = t.step(f.params, 0);
+  EXPECT_EQ(st.writes_issued, 16u);
+  EXPECT_EQ(st.updates_zero, 0u);
+}
+
+TEST(Threshold, DetectedFaultyCellsSkipWrites) {
+  RcsConfig cfg;
+  cfg.tile_rows = 8;
+  cfg.tile_cols = 8;
+  cfg.write_noise_sigma = 0.0;
+  cfg.inject_fabrication = false;
+  Rng rng(3);
+  Network net;
+  RcsSystem sys(cfg, Rng(4));
+  net.add(std::make_unique<Dense>("fc", 4, 4, sys.factory(), rng));
+  std::vector<Param> params = net.params();
+  auto* store = dynamic_cast<CrossbarWeightStore*>(params[0].store);
+  ASSERT_NE(store, nullptr);
+
+  DetectedFaults detected;
+  FaultMatrix fm(4, 4);
+  fm.set(1, 1, FaultKind::kStuckAt0);
+  detected.emplace(params[0].store, fm);
+
+  Tensor g({4, 4}, 1.0f);
+  *params[0].grad = g;
+  const ThresholdTrainer t({0.0, 0.0, true}, LrSchedule{1.0, 1.0, 0, 1e-4});
+  const auto st = t.step(params, 0, nullptr, &detected);
+  EXPECT_EQ(st.writes_issued, 15u);
+  EXPECT_EQ(st.writes_suppressed, 1u);
+}
+
+TEST(Threshold, WearLevelingRaisesThresholdForHotCells) {
+  RcsConfig cfg;
+  cfg.tile_rows = 8;
+  cfg.tile_cols = 8;
+  cfg.write_noise_sigma = 0.0;
+  cfg.inject_fabrication = false;
+  Rng rng(5);
+  Network net;
+  RcsSystem sys(cfg, Rng(6));
+  net.add(std::make_unique<Dense>("fc", 2, 2, sys.factory(), rng));
+  std::vector<Param> params = net.params();
+  auto* store = dynamic_cast<CrossbarWeightStore*>(params[0].store);
+  // Make cell (0,0) much hotter than the rest.
+  Tensor hot({2, 2});
+  hot.at(0, 0) = 0.001f;
+  for (int i = 0; i < 50; ++i) store->apply_delta(hot);
+
+  // Gradient just above the flat threshold for every cell.
+  Tensor g({2, 2}, 0.02f);
+  g.at(1, 1) = 1.0f;
+  *params[0].grad = g;
+  const ThresholdTrainer flat({0.01, 0.0, true},
+                              LrSchedule{1.0, 1.0, 0, 1e-4});
+  const ThresholdTrainer leveled({0.01, 50.0, true},
+                                 LrSchedule{1.0, 1.0, 0, 1e-4});
+  auto p2 = params;
+  const auto st_flat = flat.step(params, 0);
+  EXPECT_EQ(st_flat.writes_issued, 4u);
+  // Re-prime the gradient (step cleared nothing, grads persist, but the
+  // weights moved; that is fine for counting).
+  *p2[0].grad = g;
+  const auto st_lvl = leveled.step(p2, 0);
+  EXPECT_LT(st_lvl.writes_issued, 4u);  // the hot cell got filtered
+}
+
+TEST(Threshold, PerLayerMaxMode) {
+  Rng rng(7);
+  Network net;
+  net.add(std::make_unique<Dense>("a", 2, 2, software_store_factory(), rng));
+  net.add(std::make_unique<Dense>("b", 2, 2, software_store_factory(), rng));
+  std::vector<Param> params = net.params();
+  Tensor big({2, 2}, 1.0f);
+  Tensor small({2, 2}, 0.005f);
+  *params[0].grad = big;    // layer a
+  *params[2].grad = small;  // layer b
+  // Global max: layer b's 0.005 < 0.01·1.0 → all suppressed.
+  const ThresholdTrainer global_t({0.01, 0.0, true},
+                                  LrSchedule{1.0, 1.0, 0, 1e-4});
+  auto pg = net.params();
+  *pg[0].grad = big;
+  *pg[2].grad = small;
+  const auto st_g = global_t.step(pg, 0);
+  EXPECT_EQ(st_g.writes_issued, 4u);
+  // Per-layer max: layer b's max is 0.005, so its own threshold is tiny →
+  // all 8 written.
+  net.zero_grad();
+  auto pl = net.params();
+  *pl[0].grad = big;
+  *pl[2].grad = small;
+  const ThresholdTrainer local_t({0.01, 0.0, false},
+                                 LrSchedule{1.0, 1.0, 0, 1e-4});
+  const auto st_l = local_t.step(pl, 0);
+  EXPECT_EQ(st_l.writes_issued, 8u);
+}
+
+}  // namespace
+}  // namespace refit
