@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_detection_period.dir/ablation_detection_period.cpp.o"
+  "CMakeFiles/ablation_detection_period.dir/ablation_detection_period.cpp.o.d"
+  "CMakeFiles/ablation_detection_period.dir/bench_util.cpp.o"
+  "CMakeFiles/ablation_detection_period.dir/bench_util.cpp.o.d"
+  "ablation_detection_period"
+  "ablation_detection_period.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_detection_period.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_modulo.dir/ablation_modulo.cpp.o"
+  "CMakeFiles/ablation_modulo.dir/ablation_modulo.cpp.o.d"
+  "CMakeFiles/ablation_modulo.dir/bench_util.cpp.o"
+  "CMakeFiles/ablation_modulo.dir/bench_util.cpp.o.d"
+  "ablation_modulo"
+  "ablation_modulo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_modulo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_remap.dir/ablation_remap.cpp.o"
+  "CMakeFiles/ablation_remap.dir/ablation_remap.cpp.o.d"
+  "CMakeFiles/ablation_remap.dir/bench_util.cpp.o"
+  "CMakeFiles/ablation_remap.dir/bench_util.cpp.o.d"
+  "ablation_remap"
+  "ablation_remap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_remap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fault_sensitivity.dir/bench_util.cpp.o"
+  "CMakeFiles/fault_sensitivity.dir/bench_util.cpp.o.d"
+  "CMakeFiles/fault_sensitivity.dir/fault_sensitivity.cpp.o"
+  "CMakeFiles/fault_sensitivity.dir/fault_sensitivity.cpp.o.d"
+  "fault_sensitivity"
+  "fault_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fault_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7a_entire_cnn.dir/bench_util.cpp.o"
+  "CMakeFiles/fig7a_entire_cnn.dir/bench_util.cpp.o.d"
+  "CMakeFiles/fig7a_entire_cnn.dir/fig7a_entire_cnn.cpp.o"
+  "CMakeFiles/fig7a_entire_cnn.dir/fig7a_entire_cnn.cpp.o.d"
+  "fig7a_entire_cnn"
+  "fig7a_entire_cnn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7a_entire_cnn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7b_fc_only.dir/bench_util.cpp.o"
+  "CMakeFiles/fig7b_fc_only.dir/bench_util.cpp.o.d"
+  "CMakeFiles/fig7b_fc_only.dir/fig7b_fc_only.cpp.o"
+  "CMakeFiles/fig7b_fc_only.dir/fig7b_fc_only.cpp.o.d"
+  "fig7b_fc_only"
+  "fig7b_fc_only.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7b_fc_only.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/march_baseline.dir/bench_util.cpp.o"
+  "CMakeFiles/march_baseline.dir/bench_util.cpp.o.d"
+  "CMakeFiles/march_baseline.dir/march_baseline.cpp.o"
+  "CMakeFiles/march_baseline.dir/march_baseline.cpp.o.d"
+  "march_baseline"
+  "march_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/march_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/redundancy_baseline.dir/bench_util.cpp.o"
+  "CMakeFiles/redundancy_baseline.dir/bench_util.cpp.o.d"
+  "CMakeFiles/redundancy_baseline.dir/redundancy_baseline.cpp.o"
+  "CMakeFiles/redundancy_baseline.dir/redundancy_baseline.cpp.o.d"
+  "redundancy_baseline"
+  "redundancy_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/redundancy_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/retrain_count.dir/bench_util.cpp.o"
+  "CMakeFiles/retrain_count.dir/bench_util.cpp.o.d"
+  "CMakeFiles/retrain_count.dir/retrain_count.cpp.o"
+  "CMakeFiles/retrain_count.dir/retrain_count.cpp.o.d"
+  "retrain_count"
+  "retrain_count.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/retrain_count.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/selected_cells.dir/bench_util.cpp.o"
+  "CMakeFiles/selected_cells.dir/bench_util.cpp.o.d"
+  "CMakeFiles/selected_cells.dir/selected_cells.cpp.o"
+  "CMakeFiles/selected_cells.dir/selected_cells.cpp.o.d"
+  "selected_cells"
+  "selected_cells.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/selected_cells.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

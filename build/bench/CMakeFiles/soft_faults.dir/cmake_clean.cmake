@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soft_faults.dir/bench_util.cpp.o"
+  "CMakeFiles/soft_faults.dir/bench_util.cpp.o.d"
+  "CMakeFiles/soft_faults.dir/soft_faults.cpp.o"
+  "CMakeFiles/soft_faults.dir/soft_faults.cpp.o.d"
+  "soft_faults"
+  "soft_faults.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soft_faults.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

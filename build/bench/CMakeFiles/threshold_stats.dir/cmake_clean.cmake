@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/threshold_stats.dir/bench_util.cpp.o"
+  "CMakeFiles/threshold_stats.dir/bench_util.cpp.o.d"
+  "CMakeFiles/threshold_stats.dir/threshold_stats.cpp.o"
+  "CMakeFiles/threshold_stats.dir/threshold_stats.cpp.o.d"
+  "threshold_stats"
+  "threshold_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/threshold_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

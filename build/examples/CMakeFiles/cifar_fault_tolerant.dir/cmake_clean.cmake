@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cifar_fault_tolerant.dir/cifar_fault_tolerant.cpp.o"
+  "CMakeFiles/cifar_fault_tolerant.dir/cifar_fault_tolerant.cpp.o.d"
+  "cifar_fault_tolerant"
+  "cifar_fault_tolerant.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cifar_fault_tolerant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

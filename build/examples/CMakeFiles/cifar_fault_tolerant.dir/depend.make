@@ -1,0 +1,2 @@
+# Empty dependencies file for cifar_fault_tolerant.
+# This may be replaced when dependencies are built.

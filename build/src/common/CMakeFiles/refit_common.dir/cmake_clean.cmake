@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/refit_common.dir/csv.cpp.o"
+  "CMakeFiles/refit_common.dir/csv.cpp.o.d"
+  "CMakeFiles/refit_common.dir/log.cpp.o"
+  "CMakeFiles/refit_common.dir/log.cpp.o.d"
+  "CMakeFiles/refit_common.dir/rng.cpp.o"
+  "CMakeFiles/refit_common.dir/rng.cpp.o.d"
+  "CMakeFiles/refit_common.dir/stats.cpp.o"
+  "CMakeFiles/refit_common.dir/stats.cpp.o.d"
+  "librefit_common.a"
+  "librefit_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/refit_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

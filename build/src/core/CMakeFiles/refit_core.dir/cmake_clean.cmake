@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/refit_core.dir/energy.cpp.o"
+  "CMakeFiles/refit_core.dir/energy.cpp.o.d"
+  "CMakeFiles/refit_core.dir/ft_trainer.cpp.o"
+  "CMakeFiles/refit_core.dir/ft_trainer.cpp.o.d"
+  "CMakeFiles/refit_core.dir/prune.cpp.o"
+  "CMakeFiles/refit_core.dir/prune.cpp.o.d"
+  "CMakeFiles/refit_core.dir/remap.cpp.o"
+  "CMakeFiles/refit_core.dir/remap.cpp.o.d"
+  "CMakeFiles/refit_core.dir/threshold_trainer.cpp.o"
+  "CMakeFiles/refit_core.dir/threshold_trainer.cpp.o.d"
+  "librefit_core.a"
+  "librefit_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/refit_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/refit_data.dir/dataset.cpp.o"
+  "CMakeFiles/refit_data.dir/dataset.cpp.o.d"
+  "CMakeFiles/refit_data.dir/synthetic.cpp.o"
+  "CMakeFiles/refit_data.dir/synthetic.cpp.o.d"
+  "librefit_data.a"
+  "librefit_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/refit_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

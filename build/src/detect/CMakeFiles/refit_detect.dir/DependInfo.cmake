@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/detect/decoder.cpp" "src/detect/CMakeFiles/refit_detect.dir/decoder.cpp.o" "gcc" "src/detect/CMakeFiles/refit_detect.dir/decoder.cpp.o.d"
+  "/root/repo/src/detect/march_test.cpp" "src/detect/CMakeFiles/refit_detect.dir/march_test.cpp.o" "gcc" "src/detect/CMakeFiles/refit_detect.dir/march_test.cpp.o.d"
+  "/root/repo/src/detect/quiescent_detector.cpp" "src/detect/CMakeFiles/refit_detect.dir/quiescent_detector.cpp.o" "gcc" "src/detect/CMakeFiles/refit_detect.dir/quiescent_detector.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rram/CMakeFiles/refit_rram.dir/DependInfo.cmake"
+  "/root/repo/build/src/rcs/CMakeFiles/refit_rcs.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/refit_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/refit_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/refit_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/refit_detect.dir/decoder.cpp.o"
+  "CMakeFiles/refit_detect.dir/decoder.cpp.o.d"
+  "CMakeFiles/refit_detect.dir/march_test.cpp.o"
+  "CMakeFiles/refit_detect.dir/march_test.cpp.o.d"
+  "CMakeFiles/refit_detect.dir/quiescent_detector.cpp.o"
+  "CMakeFiles/refit_detect.dir/quiescent_detector.cpp.o.d"
+  "librefit_detect.a"
+  "librefit_detect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/refit_detect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/activations.cpp" "src/nn/CMakeFiles/refit_nn.dir/activations.cpp.o" "gcc" "src/nn/CMakeFiles/refit_nn.dir/activations.cpp.o.d"
+  "/root/repo/src/nn/conv2d.cpp" "src/nn/CMakeFiles/refit_nn.dir/conv2d.cpp.o" "gcc" "src/nn/CMakeFiles/refit_nn.dir/conv2d.cpp.o.d"
+  "/root/repo/src/nn/dense.cpp" "src/nn/CMakeFiles/refit_nn.dir/dense.cpp.o" "gcc" "src/nn/CMakeFiles/refit_nn.dir/dense.cpp.o.d"
+  "/root/repo/src/nn/layer.cpp" "src/nn/CMakeFiles/refit_nn.dir/layer.cpp.o" "gcc" "src/nn/CMakeFiles/refit_nn.dir/layer.cpp.o.d"
+  "/root/repo/src/nn/loss.cpp" "src/nn/CMakeFiles/refit_nn.dir/loss.cpp.o" "gcc" "src/nn/CMakeFiles/refit_nn.dir/loss.cpp.o.d"
+  "/root/repo/src/nn/models.cpp" "src/nn/CMakeFiles/refit_nn.dir/models.cpp.o" "gcc" "src/nn/CMakeFiles/refit_nn.dir/models.cpp.o.d"
+  "/root/repo/src/nn/network.cpp" "src/nn/CMakeFiles/refit_nn.dir/network.cpp.o" "gcc" "src/nn/CMakeFiles/refit_nn.dir/network.cpp.o.d"
+  "/root/repo/src/nn/network_io.cpp" "src/nn/CMakeFiles/refit_nn.dir/network_io.cpp.o" "gcc" "src/nn/CMakeFiles/refit_nn.dir/network_io.cpp.o.d"
+  "/root/repo/src/nn/optimizer.cpp" "src/nn/CMakeFiles/refit_nn.dir/optimizer.cpp.o" "gcc" "src/nn/CMakeFiles/refit_nn.dir/optimizer.cpp.o.d"
+  "/root/repo/src/nn/weight_store.cpp" "src/nn/CMakeFiles/refit_nn.dir/weight_store.cpp.o" "gcc" "src/nn/CMakeFiles/refit_nn.dir/weight_store.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/refit_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/refit_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

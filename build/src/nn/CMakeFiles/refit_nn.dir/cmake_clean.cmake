@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/refit_nn.dir/activations.cpp.o"
+  "CMakeFiles/refit_nn.dir/activations.cpp.o.d"
+  "CMakeFiles/refit_nn.dir/conv2d.cpp.o"
+  "CMakeFiles/refit_nn.dir/conv2d.cpp.o.d"
+  "CMakeFiles/refit_nn.dir/dense.cpp.o"
+  "CMakeFiles/refit_nn.dir/dense.cpp.o.d"
+  "CMakeFiles/refit_nn.dir/layer.cpp.o"
+  "CMakeFiles/refit_nn.dir/layer.cpp.o.d"
+  "CMakeFiles/refit_nn.dir/loss.cpp.o"
+  "CMakeFiles/refit_nn.dir/loss.cpp.o.d"
+  "CMakeFiles/refit_nn.dir/models.cpp.o"
+  "CMakeFiles/refit_nn.dir/models.cpp.o.d"
+  "CMakeFiles/refit_nn.dir/network.cpp.o"
+  "CMakeFiles/refit_nn.dir/network.cpp.o.d"
+  "CMakeFiles/refit_nn.dir/network_io.cpp.o"
+  "CMakeFiles/refit_nn.dir/network_io.cpp.o.d"
+  "CMakeFiles/refit_nn.dir/optimizer.cpp.o"
+  "CMakeFiles/refit_nn.dir/optimizer.cpp.o.d"
+  "CMakeFiles/refit_nn.dir/weight_store.cpp.o"
+  "CMakeFiles/refit_nn.dir/weight_store.cpp.o.d"
+  "librefit_nn.a"
+  "librefit_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/refit_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/refit_rcs.dir/crossbar_store.cpp.o"
+  "CMakeFiles/refit_rcs.dir/crossbar_store.cpp.o.d"
+  "CMakeFiles/refit_rcs.dir/rcs_system.cpp.o"
+  "CMakeFiles/refit_rcs.dir/rcs_system.cpp.o.d"
+  "librefit_rcs.a"
+  "librefit_rcs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/refit_rcs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

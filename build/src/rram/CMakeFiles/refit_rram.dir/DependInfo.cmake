@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rram/column_repair.cpp" "src/rram/CMakeFiles/refit_rram.dir/column_repair.cpp.o" "gcc" "src/rram/CMakeFiles/refit_rram.dir/column_repair.cpp.o.d"
+  "/root/repo/src/rram/crossbar.cpp" "src/rram/CMakeFiles/refit_rram.dir/crossbar.cpp.o" "gcc" "src/rram/CMakeFiles/refit_rram.dir/crossbar.cpp.o.d"
+  "/root/repo/src/rram/faults.cpp" "src/rram/CMakeFiles/refit_rram.dir/faults.cpp.o" "gcc" "src/rram/CMakeFiles/refit_rram.dir/faults.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/refit_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

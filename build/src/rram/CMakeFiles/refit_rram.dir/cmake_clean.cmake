@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/refit_rram.dir/column_repair.cpp.o"
+  "CMakeFiles/refit_rram.dir/column_repair.cpp.o.d"
+  "CMakeFiles/refit_rram.dir/crossbar.cpp.o"
+  "CMakeFiles/refit_rram.dir/crossbar.cpp.o.d"
+  "CMakeFiles/refit_rram.dir/faults.cpp.o"
+  "CMakeFiles/refit_rram.dir/faults.cpp.o.d"
+  "librefit_rram.a"
+  "librefit_rram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/refit_rram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/refit_tensor.dir/ops.cpp.o"
+  "CMakeFiles/refit_tensor.dir/ops.cpp.o.d"
+  "CMakeFiles/refit_tensor.dir/tensor.cpp.o"
+  "CMakeFiles/refit_tensor.dir/tensor.cpp.o.d"
+  "librefit_tensor.a"
+  "librefit_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/refit_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librefit_tensor.a"
+)

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_column_repair.dir/test_column_repair.cpp.o"
+  "CMakeFiles/test_column_repair.dir/test_column_repair.cpp.o.d"
+  "test_column_repair"
+  "test_column_repair.pdb"
+  "test_column_repair[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_column_repair.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

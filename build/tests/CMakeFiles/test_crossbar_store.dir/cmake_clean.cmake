@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_crossbar_store.dir/test_crossbar_store.cpp.o"
+  "CMakeFiles/test_crossbar_store.dir/test_crossbar_store.cpp.o.d"
+  "test_crossbar_store"
+  "test_crossbar_store.pdb"
+  "test_crossbar_store[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_crossbar_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

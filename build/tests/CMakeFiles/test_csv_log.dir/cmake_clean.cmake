@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_csv_log.dir/test_csv_log.cpp.o"
+  "CMakeFiles/test_csv_log.dir/test_csv_log.cpp.o.d"
+  "test_csv_log"
+  "test_csv_log.pdb"
+  "test_csv_log[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_csv_log.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

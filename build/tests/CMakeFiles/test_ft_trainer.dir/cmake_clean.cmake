@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ft_trainer.dir/test_ft_trainer.cpp.o"
+  "CMakeFiles/test_ft_trainer.dir/test_ft_trainer.cpp.o.d"
+  "test_ft_trainer"
+  "test_ft_trainer.pdb"
+  "test_ft_trainer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ft_trainer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ir_drop.dir/test_ir_drop.cpp.o"
+  "CMakeFiles/test_ir_drop.dir/test_ir_drop.cpp.o.d"
+  "test_ir_drop"
+  "test_ir_drop.pdb"
+  "test_ir_drop[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ir_drop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

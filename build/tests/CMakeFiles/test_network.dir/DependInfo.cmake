@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_network.cpp" "tests/CMakeFiles/test_network.dir/test_network.cpp.o" "gcc" "tests/CMakeFiles/test_network.dir/test_network.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/refit_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/detect/CMakeFiles/refit_detect.dir/DependInfo.cmake"
+  "/root/repo/build/src/rcs/CMakeFiles/refit_rcs.dir/DependInfo.cmake"
+  "/root/repo/build/src/rram/CMakeFiles/refit_rram.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/refit_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/refit_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/refit_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/refit_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
