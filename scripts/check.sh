@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Local verification: tier-1 build + tests, then the parallel-backend tests
+# again under ThreadSanitizer so data races in the thread-pool fan-outs are
+# caught before review. Usage: scripts/check.sh [extra ctest args]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tier-1: build + full test suite =="
+cmake -B build -S .
+cmake --build build -j
+ctest --test-dir build --output-on-failure -j "$@"
+
+echo "== TSan: parallel backend tests =="
+cmake -B build-tsan -S . -DREFIT_SANITIZE=thread
+cmake --build build-tsan -j --target test_backend
+(cd build-tsan && REFIT_THREADS=4 ctest --output-on-failure -R '^Backend')
+
+echo "All checks passed."

@@ -1,0 +1,133 @@
+#include "common/thread_pool.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+namespace refit {
+
+namespace {
+
+// True on threads currently executing a pool chunk; parallel_for on such a
+// thread runs inline instead of fanning out again.
+thread_local bool t_inside_pool = false;
+
+std::size_t default_thread_count() {
+  if (const char* env = std::getenv("REFIT_THREADS")) {
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end != env && v > 0) return static_cast<std::size_t>(v);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+/// Chunk `lane` of [0, n) split into `lanes` contiguous ranges.
+std::pair<std::size_t, std::size_t> chunk_range(std::size_t n,
+                                                std::size_t lanes,
+                                                std::size_t lane) {
+  return {n * lane / lanes, n * (lane + 1) / lanes};
+}
+
+}  // namespace
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  const std::size_t lanes = std::max<std::size_t>(1, threads);
+  workers_.reserve(lanes - 1);
+  for (std::size_t lane = 1; lane < lanes; ++lane) {
+    workers_.emplace_back([this, lane] { worker_loop(lane); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  start_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::run_chunk(std::size_t lane) {
+  const auto [begin, end] = chunk_range(job_n_, size(), lane);
+  if (begin >= end) return;
+  (*job_body_)(begin, end);
+}
+
+void ThreadPool::worker_loop(std::size_t lane) {
+  t_inside_pool = true;
+  std::uint64_t seen = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      start_cv_.wait(lk, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+    }
+    std::exception_ptr err;
+    try {
+      run_chunk(lane);
+    } catch (...) {
+      err = std::current_exception();
+    }
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (err && !job_error_) job_error_ = err;
+      if (--pending_ == 0) done_cv_.notify_one();
+    }
+  }
+}
+
+void ThreadPool::parallel_for(
+    std::size_t n, const std::function<void(std::size_t, std::size_t)>& body) {
+  if (n == 0) return;
+  // Serial fallback: 1-lane pool, nested call from a worker, or a range too
+  // small to split. Runs the exact same chunk math (one chunk = [0, n)).
+  if (workers_.empty() || t_inside_pool || n == 1) {
+    body(0, n);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    job_n_ = n;
+    job_body_ = &body;
+    job_error_ = nullptr;
+    pending_ = workers_.size();
+    ++generation_;
+  }
+  start_cv_.notify_all();
+  std::exception_ptr err;
+  try {
+    run_chunk(0);
+  } catch (...) {
+    err = std::current_exception();
+  }
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    done_cv_.wait(lk, [&] { return pending_ == 0; });
+    job_body_ = nullptr;
+    if (!err) err = job_error_;
+  }
+  if (err) std::rethrow_exception(err);
+}
+
+namespace {
+std::unique_ptr<ThreadPool>& global_pool_slot() {
+  static std::unique_ptr<ThreadPool> pool;
+  return pool;
+}
+}  // namespace
+
+ThreadPool& ThreadPool::global() {
+  auto& slot = global_pool_slot();
+  if (!slot) slot = std::make_unique<ThreadPool>(default_thread_count());
+  return *slot;
+}
+
+void ThreadPool::set_global_threads(std::size_t threads) {
+  auto& slot = global_pool_slot();
+  slot = std::make_unique<ThreadPool>(threads);
+}
+
+}  // namespace refit

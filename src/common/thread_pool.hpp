@@ -1,0 +1,77 @@
+// Shared data-parallel backend for the simulation hot paths.
+//
+// A ThreadPool owns N-1 worker threads (the calling thread is the Nth
+// lane) and exposes one primitive: parallel_for(n, body), which splits
+// [0, n) into at most N contiguous chunks by *static* partitioning and
+// runs body(begin, end) on each. Static partitioning is the determinism
+// guarantee: every index is processed by exactly one chunk, chunk
+// boundaries depend only on (n, N), and callers write disjoint output
+// ranges — so pooled results are bit-identical to the serial path at any
+// thread count.
+//
+// The global pool is sized from REFIT_THREADS when set (1 disables
+// workers entirely and parallel_for degenerates to an inline loop on the
+// caller), otherwise from std::thread::hardware_concurrency().
+// Exceptions thrown inside a chunk are captured and rethrown on the
+// calling thread. parallel_for called from inside a worker runs inline
+// (no nested fan-out, no deadlock).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace refit {
+
+class ThreadPool {
+ public:
+  /// A pool of `threads` lanes total (caller included); threads == 0 is
+  /// treated as 1. A 1-lane pool spawns no workers.
+  explicit ThreadPool(std::size_t threads);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total lanes (worker threads + the calling thread).
+  [[nodiscard]] std::size_t size() const { return workers_.size() + 1; }
+
+  /// Run body(begin, end) over a static partition of [0, n). Blocks until
+  /// every chunk finished; rethrows the first chunk exception.
+  void parallel_for(std::size_t n,
+                    const std::function<void(std::size_t, std::size_t)>& body);
+
+  /// The process-wide pool (REFIT_THREADS / hardware concurrency).
+  static ThreadPool& global();
+  /// Re-create the global pool with `threads` lanes (tests / benches).
+  static void set_global_threads(std::size_t threads);
+
+ private:
+  void worker_loop(std::size_t lane);
+  /// Chunk `lane` of the current job; returns false if the range is empty.
+  void run_chunk(std::size_t lane);
+
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  std::uint64_t generation_ = 0;
+  std::size_t pending_ = 0;
+  bool stop_ = false;
+
+  // Current job (valid while pending_ > 0).
+  std::size_t job_n_ = 0;
+  const std::function<void(std::size_t, std::size_t)>* job_body_ = nullptr;
+  std::exception_ptr job_error_;
+};
+
+/// parallel_for on the global pool — the call sites' spelling.
+inline void parallel_for(
+    std::size_t n, const std::function<void(std::size_t, std::size_t)>& body) {
+  ThreadPool::global().parallel_for(n, body);
+}
+
+}  // namespace refit

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <vector>
 
+#include "common/thread_pool.hpp"
 #include "detect/decoder.hpp"
 
 namespace refit {
@@ -197,21 +198,34 @@ DetectionOutcome QuiescentVoltageDetector::detect_store(
     CrossbarWeightStore& store) const {
   DetectionOutcome out;
   out.predicted = FaultMatrix(store.rows(), store.cols());
-  for (std::size_t ti = 0; ti < store.tile_grid_rows(); ++ti) {
-    for (std::size_t tj = 0; tj < store.tile_grid_cols(); ++tj) {
-      Crossbar& xb = store.tile(ti, tj);
-      DetectionOutcome tile_out = detect(xb);
-      const std::size_t r0 = ti * store.config().tile_rows;
-      const std::size_t c0 = tj * store.config().tile_cols;
-      for (std::size_t r = 0; r < xb.rows(); ++r) {
-        for (std::size_t c = 0; c < xb.cols(); ++c) {
-          out.predicted.set(r0 + r, c0 + c, tile_out.predicted.at(r, c));
-        }
-      }
-      out.cycles += tile_out.cycles;
-      out.cells_tested += tile_out.cells_tested;
-      out.device_writes += tile_out.device_writes;
+  // Tiles are embarrassingly parallel: each owns its RNG, its pulses stay
+  // inside the tile, and its predictions land in a disjoint physical block
+  // of the store-level map. Per-tile outcomes are kept in slots and merged
+  // in tile order below, so totals are deterministic at any thread count.
+  const std::size_t ntiles =
+      store.tile_grid_rows() * store.tile_grid_cols();
+  std::vector<DetectionOutcome> tile_out(ntiles);
+  parallel_for(ntiles, [&](std::size_t t0, std::size_t t1) {
+    for (std::size_t t = t0; t < t1; ++t) {
+      const std::size_t ti = t / store.tile_grid_cols();
+      const std::size_t tj = t % store.tile_grid_cols();
+      tile_out[t] = detect(store.tile(ti, tj));
     }
+  });
+  for (std::size_t t = 0; t < ntiles; ++t) {
+    const std::size_t ti = t / store.tile_grid_cols();
+    const std::size_t tj = t % store.tile_grid_cols();
+    const Crossbar& xb = store.tile(ti, tj);
+    const std::size_t r0 = ti * store.config().tile_rows;
+    const std::size_t c0 = tj * store.config().tile_cols;
+    for (std::size_t r = 0; r < xb.rows(); ++r) {
+      for (std::size_t c = 0; c < xb.cols(); ++c) {
+        out.predicted.set(r0 + r, c0 + c, tile_out[t].predicted.at(r, c));
+      }
+    }
+    out.cycles += tile_out[t].cycles;
+    out.cells_tested += tile_out[t].cells_tested;
+    out.device_writes += tile_out[t].device_writes;
   }
   store.invalidate();
   return out;

@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "common/serialize.hpp"
+#include "common/thread_pool.hpp"
 
 namespace refit {
 
@@ -50,9 +51,11 @@ CrossbarWeightStore::CrossbarWeightStore(const RcsConfig& cfg, Tensor init,
 
   if (cfg_.inject_fabrication && cfg_.fabrication.fraction > 0.0) {
     Rng fab_rng = rng.split(0xfabfabULL);
-    for (auto& t : tiles_) {
-      Rng tile_rng = fab_rng.split(reinterpret_cast<std::uintptr_t>(t.get()));
-      inject_fabrication_faults(*t, cfg_.fabrication, tile_rng);
+    // Salt by tile index (NOT the tile's heap address, which made fault
+    // patterns irreproducible across stores built from the same seed).
+    for (std::size_t t = 0; t < tiles_.size(); ++t) {
+      Rng tile_rng = fab_rng.split(t + 1);
+      inject_fabrication_faults(*tiles_[t], cfg_.fabrication, tile_rng);
     }
   }
 
@@ -62,16 +65,33 @@ CrossbarWeightStore::CrossbarWeightStore(const RcsConfig& cfg, Tensor init,
   std::iota(col_perm_.begin(), col_perm_.end(), 0);
   inv_row_perm_ = row_perm_;
   inv_col_perm_ = col_perm_;
+  tile_dirty_.assign(tiles_.size(), 1);
 
-  // Program the initial weights onto the chip.
+  // Program the initial weights onto the chip, one pool lane per tile.
+  // With the identity permutations in force here, visiting each tile's
+  // cells row-major draws its RNG in exactly the order the serial logical
+  // (i, j) sweep would — programming is bit-identical at any thread count.
   for (std::size_t i = 0; i < r; ++i) {
     for (std::size_t j = 0; j < c; ++j) {
       target_.at(i, j) = std::clamp(target_.at(i, j),
                                     -static_cast<float>(weight_max_),
                                     static_cast<float>(weight_max_));
-      write_logical(i, j);
     }
   }
+  parallel_for(tiles_.size(), [&](std::size_t t0, std::size_t t1) {
+    for (std::size_t t = t0; t < t1; ++t) {
+      Crossbar& xb = *tiles_[t];
+      const std::size_t r0 = (t / grid_cols_) * cfg_.tile_rows;
+      const std::size_t c0 = (t % grid_cols_) * cfg_.tile_cols;
+      for (std::size_t lr = 0; lr < xb.rows(); ++lr) {
+        for (std::size_t lc = 0; lc < xb.cols(); ++lc) {
+          xb.write(lr, lc,
+                   std::fabs(target_.at(r0 + lr, c0 + lc)) / weight_max_);
+        }
+      }
+    }
+  });
+  resync_counters();
 }
 
 CrossbarWeightStore::TileCoord CrossbarWeightStore::locate(
@@ -94,33 +114,82 @@ const Crossbar& CrossbarWeightStore::tile(std::size_t ti,
 
 void CrossbarWeightStore::write_logical(std::size_t i, std::size_t j) {
   const auto tc = locate(row_perm_[i], col_perm_[j]);
-  const double g = std::fabs(target_.at(i, j)) / weight_max_;
-  tiles_[tc.ti * grid_cols_ + tc.tj]->write(tc.lr, tc.lc, g);
-  dirty_ = true;
+  const std::size_t t = tc.ti * grid_cols_ + tc.tj;
+  Crossbar& xb = *tiles_[t];
+  // Diff the tile's running totals around the write so the store-level
+  // aggregates stay exact whether the write lands, is suppressed (stuck
+  // cell), or wears the cell out.
+  const std::uint64_t w0 = xb.total_writes();
+  const std::size_t f0 = xb.fault_count();
+  const std::size_t wo0 = xb.wearout_fault_count();
+  xb.write(tc.lr, tc.lc, std::fabs(target_.at(i, j)) / weight_max_);
+  writes_agg_ += xb.total_writes() - w0;
+  faults_agg_ += xb.fault_count() - f0;
+  wearout_agg_ += xb.wearout_fault_count() - wo0;
+  tile_dirty_[t] = 1;
+  any_dirty_ = true;
 }
 
 const Tensor& CrossbarWeightStore::effective() {
-  if (dirty_) rebuild_effective();
+  if (any_dirty_) rebuild_effective();
   return effective_;
 }
 
-void CrossbarWeightStore::rebuild_effective() {
-  const std::size_t r = rows(), c = cols();
-  if (effective_.shape() != target_.shape()) effective_ = Tensor({r, c});
-  for (std::size_t i = 0; i < r; ++i) {
-    for (std::size_t j = 0; j < c; ++j) {
-      const auto tc = locate(row_perm_[i], col_perm_[j]);
-      const Crossbar& xb = *tiles_[tc.ti * grid_cols_ + tc.tj];
+void CrossbarWeightStore::mark_all_dirty() {
+  std::fill(tile_dirty_.begin(), tile_dirty_.end(), 1);
+  any_dirty_ = true;
+}
+
+void CrossbarWeightStore::resync_counters() {
+  writes_agg_ = 0;
+  faults_agg_ = 0;
+  wearout_agg_ = 0;
+  for (const auto& t : tiles_) {
+    writes_agg_ += t->total_writes();
+    faults_agg_ += t->fault_count();
+    wearout_agg_ += t->wearout_fault_count();
+  }
+}
+
+void CrossbarWeightStore::rebuild_tile(std::size_t t) {
+  const Crossbar& xb = *tiles_[t];
+  const std::size_t r0 = (t / grid_cols_) * cfg_.tile_rows;
+  const std::size_t c0 = (t % grid_cols_) * cfg_.tile_cols;
+  for (std::size_t lr = 0; lr < xb.rows(); ++lr) {
+    const std::size_t i = inv_row_perm_[r0 + lr];
+    for (std::size_t lc = 0; lc < xb.cols(); ++lc) {
+      const std::size_t j = inv_col_perm_[c0 + lc];
       // The compute path is analog: the cell's contribution includes its
       // IR-drop attenuation (identity when the model is disabled).
-      const double g = xb.effective_conductance(tc.lr, tc.lc);
+      const double g = xb.effective_conductance(lr, lc);
       // Peripheral sign register: sign of the last written target. SA1
       // cells therefore saturate at ±weight_max, SA0 cells read as 0.
       const float sign = target_.at(i, j) < 0.0f ? -1.0f : 1.0f;
       effective_.at(i, j) = sign * static_cast<float>(g * weight_max_);
     }
   }
-  dirty_ = false;
+}
+
+void CrossbarWeightStore::rebuild_effective() {
+  if (effective_.shape() != target_.shape()) {
+    effective_ = Tensor({rows(), cols()});
+    mark_all_dirty();
+  }
+  // Incremental: only the tiles that received writes since the last rebuild
+  // are re-read; every physical cell maps to a unique logical entry, so the
+  // dirty tiles write disjoint parts of effective_ — one pool lane each.
+  std::vector<std::size_t> dirty;
+  dirty.reserve(tiles_.size());
+  for (std::size_t t = 0; t < tiles_.size(); ++t) {
+    if (tile_dirty_[t] != 0) dirty.push_back(t);
+  }
+  parallel_for(dirty.size(), [&](std::size_t d0, std::size_t d1) {
+    for (std::size_t d = d0; d < d1; ++d) {
+      rebuild_tile(dirty[d]);
+      tile_dirty_[dirty[d]] = 0;
+    }
+  });
+  any_dirty_ = false;
 }
 
 void CrossbarWeightStore::apply_delta(const Tensor& delta) {
@@ -172,12 +241,6 @@ void CrossbarWeightStore::assign(const Tensor& w) {
   }
 }
 
-std::uint64_t CrossbarWeightStore::write_count() const {
-  std::uint64_t total = 0;
-  for (const auto& t : tiles_) total += t->total_writes();
-  return total;
-}
-
 double CrossbarWeightStore::expected_g(std::size_t r, std::size_t c) const {
   const std::size_t i = inv_row_perm_[r];
   const std::size_t j = inv_col_perm_[c];
@@ -204,13 +267,21 @@ double CrossbarWeightStore::actual_g(std::size_t r, std::size_t c) const {
 void CrossbarWeightStore::pulse_physical(std::size_t r, std::size_t c,
                                          double delta_g) {
   const auto tc = locate(r, c);
-  Crossbar& xb = *tiles_[tc.ti * grid_cols_ + tc.tj];
+  const std::size_t t = tc.ti * grid_cols_ + tc.tj;
+  Crossbar& xb = *tiles_[t];
+  const std::uint64_t w0 = xb.total_writes();
+  const std::size_t f0 = xb.fault_count();
+  const std::size_t wo0 = xb.wearout_fault_count();
   xb.write(tc.lr, tc.lc, xb.conductance(tc.lr, tc.lc) + delta_g);
-  dirty_ = true;
+  writes_agg_ += xb.total_writes() - w0;
+  faults_agg_ += xb.fault_count() - f0;
+  wearout_agg_ += xb.wearout_fault_count() - wo0;
+  tile_dirty_[t] = 1;
+  any_dirty_ = true;
 }
 
 void CrossbarWeightStore::sync_target_from_device() {
-  if (dirty_) rebuild_effective();
+  if (any_dirty_) rebuild_effective();
   target_ = effective_;
 }
 
@@ -218,7 +289,7 @@ void CrossbarWeightStore::sync_targets_where(
     const FaultMatrix& physical_faults) {
   REFIT_CHECK(physical_faults.rows() == rows() &&
               physical_faults.cols() == cols());
-  if (dirty_) rebuild_effective();
+  if (any_dirty_) rebuild_effective();
   for (std::size_t i = 0; i < rows(); ++i) {
     for (std::size_t j = 0; j < cols(); ++j) {
       if (physical_faults.faulty(row_perm_[i], col_perm_[j])) {
@@ -252,14 +323,16 @@ void CrossbarWeightStore::set_permutations(std::vector<std::size_t> row_perm,
   for (std::size_t j = 0; j < c; ++j) inv_col_perm_[col_perm_[j]] = j;
 
   // Rewrite every cell whose logical owner moved. (Unmoved cells keep their
-  // programmed conductance — no endurance is spent on them.)
+  // programmed conductance — no endurance is spent on them.) Bijectivity
+  // means every physical cell with a new occupant is rewritten here, so the
+  // per-tile dirty marks from write_logical cover exactly the tiles whose
+  // effective entries can have changed — no blanket invalidation needed.
   for (std::size_t i = 0; i < r; ++i) {
     const bool row_moved = old_rows[i] != row_perm_[i];
     for (std::size_t j = 0; j < c; ++j) {
       if (row_moved || old_cols[j] != col_perm_[j]) write_logical(i, j);
     }
   }
-  dirty_ = true;
 }
 
 namespace {
@@ -323,7 +396,9 @@ std::unique_ptr<CrossbarWeightStore> CrossbarWeightStore::load(
   for (std::size_t t = 0; t < store->grid_rows_ * store->grid_cols_; ++t) {
     store->tiles_.push_back(std::make_unique<Crossbar>(Crossbar::load(is)));
   }
-  store->dirty_ = true;
+  store->tile_dirty_.assign(store->tiles_.size(), 1);
+  store->any_dirty_ = true;
+  store->resync_counters();
   return store;
 }
 
@@ -336,18 +411,6 @@ std::uint64_t CrossbarWeightStore::cell_write_count(std::size_t i,
 double CrossbarWeightStore::fault_fraction() const {
   return static_cast<double>(fault_count()) /
          static_cast<double>(cell_count());
-}
-
-std::size_t CrossbarWeightStore::fault_count() const {
-  std::size_t n = 0;
-  for (const auto& t : tiles_) n += t->fault_count();
-  return n;
-}
-
-std::size_t CrossbarWeightStore::wearout_fault_count() const {
-  std::size_t n = 0;
-  for (const auto& t : tiles_) n += t->wearout_fault_count();
-  return n;
 }
 
 }  // namespace refit

@@ -61,7 +61,9 @@ class CrossbarWeightStore final : public WeightStore {
   void apply_delta(const Tensor& delta) override;
   void apply_delta_full(const Tensor& delta) override;
   void assign(const Tensor& w) override;
-  [[nodiscard]] std::uint64_t write_count() const override;
+  [[nodiscard]] std::uint64_t write_count() const override {
+    return writes_agg_;
+  }
 
   // ---- Geometry ----------------------------------------------------------
   [[nodiscard]] std::size_t rows() const { return target_.dim(0); }
@@ -100,13 +102,23 @@ class CrossbarWeightStore final : public WeightStore {
   [[nodiscard]] std::uint64_t cell_write_count(std::size_t i,
                                                std::size_t j) const;
   [[nodiscard]] double fault_fraction() const;
-  [[nodiscard]] std::size_t fault_count() const;
-  [[nodiscard]] std::size_t wearout_fault_count() const;
+  /// write_count() / fault_count() / wearout_fault_count() are running
+  /// aggregates maintained on every store-issued write — O(1) per call even
+  /// inside training loops. Direct tile manipulation must be followed by
+  /// invalidate(), which resynchronizes them from the tiles.
+  [[nodiscard]] std::size_t fault_count() const { return faults_agg_; }
+  [[nodiscard]] std::size_t wearout_fault_count() const {
+    return wearout_agg_;
+  }
   [[nodiscard]] std::size_t cell_count() const { return rows() * cols(); }
 
-  /// Mark the cached effective weights stale (call after any direct tile
-  /// manipulation, e.g. a detection pass).
-  void invalidate() { dirty_ = true; }
+  /// Mark the cached effective weights stale and resync the aggregate
+  /// counters (call after any direct tile manipulation, e.g. a detection
+  /// pass or fault injection through tile()).
+  void invalidate() {
+    mark_all_dirty();
+    resync_counters();
+  }
 
   /// Overwrite the off-chip target copy with the device's actual effective
   /// weights (the "read RRAM values, store off-chip" step of the paper's
@@ -141,7 +153,15 @@ class CrossbarWeightStore final : public WeightStore {
   [[nodiscard]] TileCoord locate(std::size_t phys_r, std::size_t phys_c) const;
   /// Program the physical cell hosting logical (i, j) from target_.
   void write_logical(std::size_t i, std::size_t j);
+  /// Rebuild only the tiles whose cells changed since the last rebuild,
+  /// fanning the per-tile work across the global thread pool.
   void rebuild_effective();
+  /// Recompute the effective entries of every logical cell hosted on tile t.
+  void rebuild_tile(std::size_t t);
+  void mark_all_dirty();
+  /// Re-derive the aggregate write/fault counters from the tiles' own
+  /// running totals (O(#tiles), used after out-of-band tile mutation).
+  void resync_counters();
 
   RcsConfig cfg_;
   Tensor target_;
@@ -154,7 +174,15 @@ class CrossbarWeightStore final : public WeightStore {
   std::vector<std::size_t> col_perm_;
   std::vector<std::size_t> inv_row_perm_;
   std::vector<std::size_t> inv_col_perm_;
-  bool dirty_ = true;
+  /// Per-tile staleness of effective_ (uint8_t, not vector<bool>: lanes
+  /// clear flags for distinct tiles without sharing a word). any_dirty_
+  /// short-circuits effective() on the hottest path.
+  std::vector<std::uint8_t> tile_dirty_;
+  bool any_dirty_ = true;
+  /// Running aggregates over all tiles (see fault_count() docs).
+  std::uint64_t writes_agg_ = 0;
+  std::size_t faults_agg_ = 0;
+  std::size_t wearout_agg_ = 0;
 };
 
 }  // namespace refit

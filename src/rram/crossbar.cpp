@@ -78,6 +78,7 @@ double Crossbar::attenuation(std::size_t r, std::size_t c) const {
 }
 
 double Crossbar::effective_conductance(std::size_t r, std::size_t c) const {
+  ++reads_;
   return g_[idx(r, c)] * attenuation(r, c);
 }
 

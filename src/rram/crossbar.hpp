@@ -108,6 +108,10 @@ class Crossbar {
 
   [[nodiscard]] std::uint64_t write_count(std::size_t r, std::size_t c) const;
   [[nodiscard]] std::uint64_t total_writes() const { return total_writes_; }
+  /// Analog read-out accesses (effective_conductance calls) served so far.
+  /// Diagnostic probe: lets tests assert that incremental rebuilds do not
+  /// re-read clean tiles. Not serialized.
+  [[nodiscard]] std::uint64_t read_count() const { return reads_; }
   /// Writes that were suppressed because the cell is stuck.
   [[nodiscard]] std::uint64_t suppressed_writes() const {
     return suppressed_writes_;
@@ -137,6 +141,9 @@ class Crossbar {
   std::vector<FaultKind> faults_;
   std::vector<std::uint32_t> writes_;        ///< per-cell write counters
   std::vector<std::uint32_t> endurance_limit_;
+  /// Read-out probe; mutable because reads are logically const. Only ever
+  /// touched by the single lane that owns this tile during a parallel pass.
+  mutable std::uint64_t reads_ = 0;
   std::uint64_t total_writes_ = 0;
   std::uint64_t suppressed_writes_ = 0;
   std::size_t fault_count_ = 0;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <limits>
 
+#include "common/thread_pool.hpp"
+
 namespace refit {
 
 namespace {
@@ -13,6 +15,11 @@ void check_rank2(const Tensor& t, const char* name) {
 }
 
 }  // namespace
+
+// All three GEMMs parallelize over output rows: each lane owns a contiguous
+// block of C rows, so lanes never share an output cache line and every
+// element keeps its serial k-ascending accumulation order — pooled results
+// are bit-identical to the 1-thread path (and to the pre-pool kernels).
 
 Tensor matmul(const Tensor& a, const Tensor& b) {
   check_rank2(a, "a");
@@ -25,16 +32,19 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
   const float* bp = b.data();
   float* cp = c.data();
   // i-k-j loop order: streams B and C rows, cache-friendly without tiling.
-  for (std::size_t i = 0; i < m; ++i) {
-    const float* arow = ap + i * k;
-    float* crow = cp + i * n;
-    for (std::size_t kk = 0; kk < k; ++kk) {
-      const float av = arow[kk];
-      if (av == 0.0f) continue;
-      const float* brow = bp + kk * n;
-      for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+  // The av == 0 skip matters: post-ReLU activations are sparse.
+  parallel_for(m, [&](std::size_t i0, std::size_t i1) {
+    for (std::size_t i = i0; i < i1; ++i) {
+      const float* arow = ap + i * k;
+      float* crow = cp + i * n;
+      for (std::size_t kk = 0; kk < k; ++kk) {
+        const float av = arow[kk];
+        if (av == 0.0f) continue;
+        const float* brow = bp + kk * n;
+        for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+      }
     }
-  }
+  });
   return c;
 }
 
@@ -47,16 +57,19 @@ Tensor matmul_tn(const Tensor& a, const Tensor& b) {
   const float* ap = a.data();
   const float* bp = b.data();
   float* cp = c.data();
-  for (std::size_t kk = 0; kk < k; ++kk) {
-    const float* arow = ap + kk * m;
-    const float* brow = bp + kk * n;
-    for (std::size_t i = 0; i < m; ++i) {
-      const float av = arow[i];
-      if (av == 0.0f) continue;
+  // i-outer (A is read down a column, stride m) so C rows partition cleanly
+  // across lanes; per element the reduction is still k-ascending.
+  parallel_for(m, [&](std::size_t i0, std::size_t i1) {
+    for (std::size_t i = i0; i < i1; ++i) {
       float* crow = cp + i * n;
-      for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+      for (std::size_t kk = 0; kk < k; ++kk) {
+        const float av = ap[kk * m + i];
+        if (av == 0.0f) continue;
+        const float* brow = bp + kk * n;
+        for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+      }
     }
-  }
+  });
   return c;
 }
 
@@ -69,16 +82,40 @@ Tensor matmul_nt(const Tensor& a, const Tensor& b) {
   const float* ap = a.data();
   const float* bp = b.data();
   float* cp = c.data();
-  for (std::size_t i = 0; i < m; ++i) {
-    const float* arow = ap + i * k;
-    float* crow = cp + i * n;
-    for (std::size_t j = 0; j < n; ++j) {
-      const float* brow = bp + j * k;
-      float acc = 0.0f;
-      for (std::size_t kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
-      crow[j] = acc;
+  parallel_for(m, [&](std::size_t i0, std::size_t i1) {
+    for (std::size_t i = i0; i < i1; ++i) {
+      const float* arow = ap + i * k;
+      float* crow = cp + i * n;
+      // Register blocking: four independent dot-product accumulators reuse
+      // each arow[kk] load across four B rows; every accumulator still sums
+      // in k-ascending order, so blocking does not perturb the result.
+      std::size_t j = 0;
+      for (; j + 4 <= n; j += 4) {
+        const float* b0 = bp + j * k;
+        const float* b1 = bp + (j + 1) * k;
+        const float* b2 = bp + (j + 2) * k;
+        const float* b3 = bp + (j + 3) * k;
+        float acc0 = 0.0f, acc1 = 0.0f, acc2 = 0.0f, acc3 = 0.0f;
+        for (std::size_t kk = 0; kk < k; ++kk) {
+          const float av = arow[kk];
+          acc0 += av * b0[kk];
+          acc1 += av * b1[kk];
+          acc2 += av * b2[kk];
+          acc3 += av * b3[kk];
+        }
+        crow[j] = acc0;
+        crow[j + 1] = acc1;
+        crow[j + 2] = acc2;
+        crow[j + 3] = acc3;
+      }
+      for (; j < n; ++j) {
+        const float* brow = bp + j * k;
+        float acc = 0.0f;
+        for (std::size_t kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
+        crow[j] = acc;
+      }
     }
-  }
+  });
   return c;
 }
 
@@ -125,7 +162,9 @@ Tensor im2col(const Tensor& input, const ConvGeometry& g) {
   const std::size_t plen = g.patch_len();
   Tensor cols({batch * oh * ow, plen});
   float* cp = cols.data();
-  for (std::size_t n = 0; n < batch; ++n) {
+  // Each image owns a disjoint block of patch rows — batch-parallel.
+  parallel_for(batch, [&](std::size_t n0, std::size_t n1) {
+  for (std::size_t n = n0; n < n1; ++n) {
     for (std::size_t y = 0; y < oh; ++y) {
       for (std::size_t x = 0; x < ow; ++x) {
         float* dst = cp + ((n * oh + y) * ow + x) * plen;
@@ -153,6 +192,7 @@ Tensor im2col(const Tensor& input, const ConvGeometry& g) {
       }
     }
   }
+  });
   return cols;
 }
 
@@ -163,7 +203,10 @@ Tensor col2im(const Tensor& cols, std::size_t batch, const ConvGeometry& g) {
   REFIT_CHECK(cols.dim(0) == batch * oh * ow && cols.dim(1) == plen);
   Tensor input({batch, g.in_channels, g.in_h, g.in_w});
   const float* cp = cols.data();
-  for (std::size_t n = 0; n < batch; ++n) {
+  // Overlapping windows only collide within one image; images are disjoint,
+  // so the scatter-accumulate is batch-parallel and keeps its serial order.
+  parallel_for(batch, [&](std::size_t n0, std::size_t n1) {
+  for (std::size_t n = n0; n < n1; ++n) {
     for (std::size_t y = 0; y < oh; ++y) {
       for (std::size_t x = 0; x < ow; ++x) {
         const float* src = cp + ((n * oh + y) * ow + x) * plen;
@@ -189,6 +232,7 @@ Tensor col2im(const Tensor& cols, std::size_t batch, const ConvGeometry& g) {
       }
     }
   }
+  });
   return input;
 }
 
@@ -232,11 +276,14 @@ Tensor maxpool2d(const Tensor& input, std::size_t window, std::size_t stride,
   const std::size_t ow = (iw - window) / stride + 1;
   Tensor out({batch, ch, oh, ow});
   argmax.assign(out.numel(), 0);
-  std::size_t oi = 0;
-  for (std::size_t n = 0; n < batch; ++n) {
+  // Output index derived from (n, c, y, x) instead of a running counter so
+  // each image's windows can run on a separate lane.
+  parallel_for(batch, [&](std::size_t n0, std::size_t n1) {
+  for (std::size_t n = n0; n < n1; ++n) {
     for (std::size_t c = 0; c < ch; ++c) {
       for (std::size_t y = 0; y < oh; ++y) {
-        for (std::size_t x = 0; x < ow; ++x, ++oi) {
+        for (std::size_t x = 0; x < ow; ++x) {
+          const std::size_t oi = ((n * ch + c) * oh + y) * ow + x;
           float best = -std::numeric_limits<float>::infinity();
           std::size_t best_idx = 0;
           for (std::size_t wy = 0; wy < window; ++wy) {
@@ -258,6 +305,7 @@ Tensor maxpool2d(const Tensor& input, std::size_t window, std::size_t stride,
       }
     }
   }
+  });
   return out;
 }
 
