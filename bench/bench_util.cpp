@@ -1,3 +1,4 @@
+// Shared benchmark-harness helpers (see bench_util.hpp).
 #include "bench_util.hpp"
 
 #include <algorithm>

@@ -1,18 +1,81 @@
 #!/usr/bin/env bash
-# Local verification: tier-1 build + tests, then the parallel-backend tests
-# again under ThreadSanitizer so data races in the thread-pool fan-outs are
-# caught before review. Usage: scripts/check.sh [extra ctest args]
-set -euo pipefail
+# Local verification, mirroring .github/workflows/ci.yml:
+#
+#   tier1       RelWithDebInfo build (-DREFIT_WERROR=ON) + full ctest suite
+#   lint        refit-lint static analysis over src/tests/bench/examples/tools
+#   asan-ubsan  full suite under AddressSanitizer + UBSan
+#   tsan        parallel-backend tests under ThreadSanitizer (REFIT_THREADS=4)
+#
+# All stages run even when an earlier one fails; a per-stage summary prints
+# at the end and the exit status is non-zero if any stage failed. Extra
+# arguments are forwarded to the tier-1 ctest invocation.
+set -uo pipefail
 cd "$(dirname "$0")/.."
 
-echo "== tier-1: build + full test suite =="
-cmake -B build -S .
-cmake --build build -j
-ctest --test-dir build --output-on-failure -j "$@"
+declare -a STAGE_NAMES=() STAGE_RESULTS=()
+record() {  # record <name> <exit-code>
+  STAGE_NAMES+=("$1")
+  STAGE_RESULTS+=("$2")
+}
 
-echo "== TSan: parallel backend tests =="
-cmake -B build-tsan -S . -DREFIT_SANITIZE=thread
-cmake --build build-tsan -j --target test_backend
-(cd build-tsan && REFIT_THREADS=4 ctest --output-on-failure -R '^Backend')
+banner() {
+  echo
+  echo "==================================================================="
+  echo "== $1"
+  echo "==================================================================="
+}
 
-echo "All checks passed."
+banner "tier1: build (-Werror) + full test suite"
+tier1_rc=1
+if cmake -B build -S . -DREFIT_WERROR=ON &&
+   cmake --build build -j &&
+   ctest --test-dir build --output-on-failure -j "$@"; then
+  tier1_rc=0
+fi
+record tier1 $tier1_rc
+
+banner "lint: refit-lint static analysis"
+lint_rc=1
+if [[ $tier1_rc -ne 0 && ! -x build/tools/refit_lint ]]; then
+  # The tier-1 build failed before producing the linter; try to build just it.
+  cmake --build build -j --target refit_lint || true
+fi
+if ./build/tools/refit_lint src tests bench examples tools; then
+  lint_rc=0
+fi
+record lint $lint_rc
+
+banner "asan-ubsan: full test suite under ASan + UBSan"
+asan_rc=1
+if cmake -B build-asan -S . -DREFIT_SANITIZE=address,undefined &&
+   cmake --build build-asan -j &&
+   ctest --test-dir build-asan --output-on-failure -j; then
+  asan_rc=0
+fi
+record asan-ubsan $asan_rc
+
+banner "tsan: parallel backend tests under TSan (REFIT_THREADS=4)"
+tsan_rc=1
+if cmake -B build-tsan -S . -DREFIT_SANITIZE=thread &&
+   cmake --build build-tsan -j --target test_backend &&
+   (cd build-tsan && REFIT_THREADS=4 ctest --output-on-failure -R '^Backend'); then
+  tsan_rc=0
+fi
+record tsan $tsan_rc
+
+banner "summary"
+overall=0
+for i in "${!STAGE_NAMES[@]}"; do
+  if [[ ${STAGE_RESULTS[$i]} -eq 0 ]]; then
+    printf '  %-12s PASS\n' "${STAGE_NAMES[$i]}"
+  else
+    printf '  %-12s FAIL\n' "${STAGE_NAMES[$i]}"
+    overall=1
+  fi
+done
+if [[ $overall -eq 0 ]]; then
+  echo "All checks passed."
+else
+  echo "Some checks FAILED — see the stage output above."
+fi
+exit $overall

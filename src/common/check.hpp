@@ -47,6 +47,8 @@ namespace detail {
 
 #ifdef NDEBUG
 #define REFIT_DCHECK(expr) ((void)0)
+#define REFIT_DCHECK_MSG(expr, msg) ((void)0)
 #else
 #define REFIT_DCHECK(expr) REFIT_CHECK(expr)
+#define REFIT_DCHECK_MSG(expr, msg) REFIT_CHECK_MSG(expr, msg)
 #endif

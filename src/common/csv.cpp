@@ -1,3 +1,4 @@
+// CSV experiment-log writer (see csv.hpp).
 #include "common/csv.hpp"
 
 #include <iomanip>

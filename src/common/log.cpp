@@ -1,3 +1,4 @@
+// Leveled stderr logger (see log.hpp).
 #include "common/log.hpp"
 
 #include <iostream>

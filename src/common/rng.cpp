@@ -1,3 +1,4 @@
+// xoshiro256** / SplitMix64 implementation (see rng.hpp).
 #include "common/rng.hpp"
 
 #include <cmath>

@@ -1,3 +1,4 @@
+// Summary-statistics helpers (see stats.hpp).
 #include "common/stats.hpp"
 
 #include <algorithm>

@@ -1,3 +1,4 @@
+// Persistent worker pool behind refit::parallel_for (see thread_pool.hpp).
 #include "common/thread_pool.hpp"
 
 #include <algorithm>

@@ -1,3 +1,4 @@
+// Energy / latency accounting model (see energy.hpp).
 #include "core/energy.hpp"
 
 namespace refit {

@@ -1,3 +1,4 @@
+// Fault-tolerant training flow — the paper's Fig. 3 loop (see ft_trainer.hpp).
 #include "core/ft_trainer.hpp"
 
 #include <algorithm>

@@ -1,3 +1,4 @@
+// Magnitude pruning state and application (see prune.hpp).
 #include "core/prune.hpp"
 
 #include <algorithm>

@@ -1,3 +1,4 @@
+// Neuron re-ordering re-mapping engine, paper §5.2 (see remap.hpp).
 #include "core/remap.hpp"
 
 #include <algorithm>

@@ -1,3 +1,4 @@
+// Threshold (δw) training, paper §5.1 (see threshold_trainer.hpp).
 #include "core/threshold_trainer.hpp"
 
 #include <algorithm>

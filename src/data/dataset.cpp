@@ -1,3 +1,4 @@
+// In-memory dataset container and batching (see dataset.hpp).
 #include "data/dataset.hpp"
 
 #include <algorithm>

@@ -1,3 +1,4 @@
+// Synthetic classification-task generators (see synthetic.hpp).
 #include "data/synthetic.hpp"
 
 #include <algorithm>

@@ -1,3 +1,4 @@
+// Fault-site decoding from quiescent-test observables (see decoder.hpp).
 #include "detect/decoder.hpp"
 
 #include <algorithm>

@@ -1,3 +1,4 @@
+// March-style full-array test baseline (see march_test.hpp).
 #include "detect/march_test.hpp"
 
 #include <cstdlib>

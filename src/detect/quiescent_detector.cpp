@@ -1,3 +1,4 @@
+// On-line quiescent-voltage fault detector, paper §4 (see quiescent_detector.hpp).
 #include "detect/quiescent_detector.hpp"
 
 #include <cmath>

@@ -1,3 +1,4 @@
+// Activation functions and derivatives (see activations.hpp).
 #include "nn/activations.hpp"
 
 #include "tensor/ops.hpp"

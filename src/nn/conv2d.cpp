@@ -1,3 +1,4 @@
+// 2-D convolution layer (see conv2d.hpp).
 #include "nn/conv2d.hpp"
 
 #include <cmath>

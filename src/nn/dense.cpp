@@ -1,3 +1,4 @@
+// Fully-connected layer (see dense.hpp).
 #include "nn/dense.hpp"
 
 #include <cmath>

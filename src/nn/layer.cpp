@@ -1,3 +1,4 @@
+// Layer base classes and plumbing (see layer.hpp).
 #include "nn/layer.hpp"
 
 // Layer and MatrixLayer are interface classes; their non-inline pieces are

@@ -1,3 +1,4 @@
+// Loss functions (see loss.hpp).
 #include "nn/loss.hpp"
 
 #include <algorithm>

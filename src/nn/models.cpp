@@ -1,3 +1,4 @@
+// Reference model builders — MLPs and the paper's CNN (see models.hpp).
 #include "nn/models.hpp"
 
 #include <algorithm>

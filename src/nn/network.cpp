@@ -1,3 +1,4 @@
+// Network container: forward / backward / update (see network.hpp).
 #include "nn/network.hpp"
 
 #include <algorithm>

@@ -1,3 +1,4 @@
+// Network checkpoint (de)serialization (see network_io.hpp).
 #include "nn/network_io.hpp"
 
 #include <istream>

@@ -1,3 +1,4 @@
+// SGD / momentum optimizers (see optimizer.hpp).
 #include "nn/optimizer.hpp"
 
 #include <algorithm>

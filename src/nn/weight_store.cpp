@@ -1,3 +1,4 @@
+// Software (ideal) WeightStore (see weight_store.hpp).
 #include "nn/weight_store.hpp"
 
 #include <utility>

@@ -1,3 +1,4 @@
+// Crossbar-tile-backed WeightStore (see crossbar_store.hpp).
 #include "rcs/crossbar_store.hpp"
 
 #include <algorithm>

@@ -1,3 +1,4 @@
+// RCS system facade and store factory (see rcs_system.hpp).
 #include "rcs/rcs_system.hpp"
 
 #include <utility>

@@ -1,3 +1,4 @@
+// Spare-column redundancy repair baseline (see column_repair.hpp).
 #include "rram/column_repair.hpp"
 
 #include <algorithm>

@@ -1,3 +1,4 @@
+// RRAM crossbar tile device model (see crossbar.hpp).
 #include "rram/crossbar.hpp"
 
 #include <algorithm>

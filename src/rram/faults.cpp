@@ -1,3 +1,4 @@
+// Fabrication-time fault injection (see faults.hpp).
 #include "rram/faults.hpp"
 
 #include <algorithm>
@@ -28,7 +29,6 @@ std::vector<std::pair<std::size_t, std::size_t>> sample_fault_sites(
     // Fill randomly chosen whole columns and rows (2:1 column bias — the
     // column is the RCS's computational unit) until the quota is met; the
     // last partial line is filled from a random offset.
-    std::vector<bool> used(rows * cols, false);
     std::size_t placed = 0;
     while (placed < count) {
       const bool pick_col = rng.bernoulli(2.0 / 3.0);

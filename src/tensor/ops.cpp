@@ -1,3 +1,4 @@
+// Tensor kernels — GEMM / conv fan-out over the thread pool (see ops.hpp).
 #include "tensor/ops.hpp"
 
 #include <algorithm>

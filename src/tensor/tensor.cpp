@@ -1,3 +1,4 @@
+// Dense row-major tensor (see tensor.hpp).
 #include "tensor/tensor.hpp"
 
 #include <cmath>

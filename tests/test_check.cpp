@@ -1,0 +1,103 @@
+// Tests for the REFIT_CHECK / REFIT_DCHECK macro family (common/check.hpp):
+// what() must carry the stringified expression, file:line, and (for the
+// _MSG variants) the streamed message, and REFIT_DCHECK must evaluate its
+// argument exactly once in debug builds / not at all under NDEBUG.
+#include <cctype>
+#include <string>
+
+#include "common/check.hpp"
+#include "gtest/gtest.h"
+
+namespace refit {
+namespace {
+
+TEST(Check, PassingCheckDoesNotThrow) {
+  EXPECT_NO_THROW(REFIT_CHECK(1 + 1 == 2));
+  EXPECT_NO_THROW(REFIT_CHECK_MSG(true, "never shown"));
+}
+
+TEST(Check, FailureThrowsCheckErrorWithExpressionAndLocation) {
+  try {
+    REFIT_CHECK(2 + 2 == 5);
+    FAIL() << "REFIT_CHECK(false) did not throw";
+  } catch (const CheckError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("2 + 2 == 5"), std::string::npos) << what;
+    EXPECT_NE(what.find("test_check.cpp"), std::string::npos) << what;
+    // The failing line is two lines above the catch — just require a
+    // ":<digits>" location suffix after the file name.
+    const auto file_pos = what.find("test_check.cpp:");
+    ASSERT_NE(file_pos, std::string::npos) << what;
+    EXPECT_TRUE(std::isdigit(static_cast<unsigned char>(
+        what[file_pos + std::string("test_check.cpp:").size()])))
+        << what;
+  }
+}
+
+TEST(Check, CheckErrorIsALogicError) {
+  EXPECT_THROW(REFIT_CHECK(false), std::logic_error);
+}
+
+TEST(Check, MsgVariantAppendsStreamedMessage) {
+  const int got = 3;
+  try {
+    REFIT_CHECK_MSG(got == 4, "expected 4, got " << got);
+    FAIL() << "REFIT_CHECK_MSG(false, ...) did not throw";
+  } catch (const CheckError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("got == 4"), std::string::npos) << what;
+    EXPECT_NE(what.find("expected 4, got 3"), std::string::npos) << what;
+  }
+}
+
+TEST(Check, MsgIsNotEvaluatedWhenCheckPasses) {
+  int calls = 0;
+  auto expensive = [&calls]() {
+    ++calls;
+    return std::string("expensive");
+  };
+  REFIT_CHECK_MSG(true, expensive());
+  EXPECT_EQ(calls, 0);
+}
+
+int g_evaluations = 0;
+// maybe_unused: in NDEBUG builds REFIT_DCHECK discards its argument, so
+// nothing references this function.
+[[maybe_unused]] bool count_and_pass() {
+  ++g_evaluations;
+  return true;
+}
+
+TEST(Check, DcheckEvaluatesArgumentExactlyOnceInDebugBuilds) {
+  g_evaluations = 0;
+  REFIT_DCHECK(count_and_pass());
+#ifdef NDEBUG
+  EXPECT_EQ(g_evaluations, 0) << "REFIT_DCHECK must compile away in NDEBUG";
+#else
+  EXPECT_EQ(g_evaluations, 1)
+      << "REFIT_DCHECK must evaluate its argument exactly once";
+#endif
+}
+
+TEST(Check, DcheckMsgMatchesDcheckSemantics) {
+  g_evaluations = 0;
+  REFIT_DCHECK_MSG(count_and_pass(), "context");
+#ifdef NDEBUG
+  EXPECT_EQ(g_evaluations, 0);
+#else
+  EXPECT_EQ(g_evaluations, 1);
+#endif
+
+#ifndef NDEBUG
+  try {
+    REFIT_DCHECK_MSG(false, "dcheck context " << 42);
+    FAIL() << "REFIT_DCHECK_MSG(false, ...) did not throw in a debug build";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("dcheck context 42"),
+              std::string::npos);
+  }
+#endif
+}
+
+}  // namespace
+}  // namespace refit

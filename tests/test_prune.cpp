@@ -68,7 +68,9 @@ TEST(Prune, ApplyZeroesWeights) {
   const PruneMask* m = st.mask_for(&ml->weights());
   const Tensor& w = ml->weights().target();
   for (std::size_t i = 0; i < w.numel(); ++i) {
-    if (m->pruned[i]) EXPECT_EQ(w[i], 0.0f);
+    if (m->pruned[i]) {
+      EXPECT_EQ(w[i], 0.0f);
+    }
   }
 }
 

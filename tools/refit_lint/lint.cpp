@@ -1,0 +1,489 @@
+// Token-level rule engine behind refit-lint (see lint.hpp for the rule
+// catalogue and suppression syntax).
+#include "lint.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace refit::lint {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Lexer
+// ---------------------------------------------------------------------------
+
+enum class TokKind { kIdent, kNumber, kPunct, kString, kChar };
+
+struct Token {
+  TokKind kind;
+  std::string text;
+  int line;
+};
+
+struct Comment {
+  std::string text;
+  int line;
+};
+
+/// A preprocessor directive, captured whole (continuation lines folded).
+struct PpLine {
+  std::string text;  ///< directive without the leading '#', trimmed
+  int line;
+};
+
+struct LexResult {
+  std::vector<Token> tokens;
+  std::vector<Comment> comments;
+  std::vector<PpLine> pp_lines;
+};
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/// Multi-character punctuators, longest first (maximal munch) so that `==`
+/// never lexes as two `=` and `<<=` never as `<<` `=`.
+const char* const kPuncts[] = {
+    "<<=", ">>=", "...", "->*", "::", "->", "++", "--", "<<", ">>", "<=",
+    ">=",  "==",  "!=",  "&&",  "||", "+=", "-=", "*=", "/=", "%=", "&=",
+    "|=",  "^=",
+};
+
+LexResult lex(const std::string& src) {
+  LexResult out;
+  std::size_t i = 0;
+  const std::size_t n = src.size();
+  int line = 1;
+  bool at_line_start = true;
+
+  auto advance = [&](std::size_t count) {
+    for (std::size_t k = 0; k < count && i < n; ++k, ++i)
+      if (src[i] == '\n') ++line;
+  };
+
+  while (i < n) {
+    const char c = src[i];
+    if (c == '\n') {
+      at_line_start = true;
+      advance(1);
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      advance(1);
+      continue;
+    }
+    // Line comment.
+    if (c == '/' && i + 1 < n && src[i + 1] == '/') {
+      const std::size_t start = i;
+      while (i < n && src[i] != '\n') ++i;
+      out.comments.push_back({src.substr(start, i - start), line});
+      continue;
+    }
+    // Block comment.
+    if (c == '/' && i + 1 < n && src[i + 1] == '*') {
+      const int start_line = line;
+      const std::size_t start = i;
+      advance(2);
+      while (i + 1 < n && !(src[i] == '*' && src[i + 1] == '/')) advance(1);
+      advance(2);
+      out.comments.push_back({src.substr(start, i - start), start_line});
+      continue;
+    }
+    // Preprocessor directive (only when '#' is the first glyph on the line).
+    if (c == '#' && at_line_start) {
+      const int start_line = line;
+      std::string text;
+      advance(1);
+      while (i < n) {
+        if (src[i] == '\\' && i + 1 < n && src[i + 1] == '\n') {
+          text += ' ';
+          advance(2);
+          continue;
+        }
+        if (src[i] == '\n') break;
+        text += src[i];
+        advance(1);
+      }
+      // Trim.
+      const auto b = text.find_first_not_of(" \t");
+      const auto e = text.find_last_not_of(" \t");
+      out.pp_lines.push_back(
+          {b == std::string::npos ? "" : text.substr(b, e - b + 1),
+           start_line});
+      continue;
+    }
+    at_line_start = false;
+    // Raw string literal R"delim( ... )delim".
+    if (c == 'R' && i + 1 < n && src[i + 1] == '"') {
+      std::size_t j = i + 2;
+      std::string delim;
+      while (j < n && src[j] != '(') delim += src[j++];
+      const std::string closer = ")" + delim + "\"";
+      const std::size_t end = src.find(closer, j);
+      const int start_line = line;
+      const std::size_t stop = end == std::string::npos ? n : end + closer.size();
+      std::string text = src.substr(i, stop - i);
+      advance(stop - i);
+      out.tokens.push_back({TokKind::kString, std::move(text), start_line});
+      continue;
+    }
+    // String / char literal.
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      const int start_line = line;
+      const std::size_t start = i;
+      advance(1);
+      while (i < n && src[i] != quote) {
+        if (src[i] == '\\' && i + 1 < n)
+          advance(2);
+        else
+          advance(1);
+      }
+      advance(1);
+      out.tokens.push_back({quote == '"' ? TokKind::kString : TokKind::kChar,
+                            src.substr(start, i - start), start_line});
+      continue;
+    }
+    if (ident_start(c)) {
+      const std::size_t start = i;
+      while (i < n && ident_char(src[i])) ++i;
+      out.tokens.push_back(
+          {TokKind::kIdent, src.substr(start, i - start), line});
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      const std::size_t start = i;
+      while (i < n && (ident_char(src[i]) || src[i] == '.' ||
+                       ((src[i] == '+' || src[i] == '-') && i > start &&
+                        (src[i - 1] == 'e' || src[i - 1] == 'E' ||
+                         src[i - 1] == 'p' || src[i - 1] == 'P'))))
+        ++i;
+      out.tokens.push_back(
+          {TokKind::kNumber, src.substr(start, i - start), line});
+      continue;
+    }
+    // Punctuation, longest match first.
+    bool matched = false;
+    for (const char* p : kPuncts) {
+      const std::size_t len = std::char_traits<char>::length(p);
+      if (src.compare(i, len, p) == 0) {
+        out.tokens.push_back({TokKind::kPunct, p, line});
+        advance(len);
+        matched = true;
+        break;
+      }
+    }
+    if (!matched) {
+      out.tokens.push_back({TokKind::kPunct, std::string(1, c), line});
+      advance(1);
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Suppressions
+// ---------------------------------------------------------------------------
+
+struct Suppressions {
+  /// line → rules allowed on that line (and the line after it).
+  std::map<int, std::set<std::string>> by_line;
+  /// rules disabled for the entire file.
+  std::set<std::string> file_wide;
+
+  [[nodiscard]] bool allows(const std::string& rule, int line) const {
+    if (file_wide.count(rule) || file_wide.count("*")) return true;
+    for (const int l : {line, line - 1}) {
+      const auto it = by_line.find(l);
+      if (it != by_line.end() &&
+          (it->second.count(rule) || it->second.count("*")))
+        return true;
+    }
+    return false;
+  }
+};
+
+/// Parses `refit-lint: allow(a, b)` / `allow-file(a)` out of comment text.
+Suppressions parse_suppressions(const std::vector<Comment>& comments) {
+  Suppressions sup;
+  for (const Comment& cm : comments) {
+    const std::size_t tag = cm.text.find("refit-lint:");
+    if (tag == std::string::npos) continue;
+    std::size_t pos = tag + std::char_traits<char>::length("refit-lint:");
+    while (pos < cm.text.size()) {
+      while (pos < cm.text.size() &&
+             (std::isspace(static_cast<unsigned char>(cm.text[pos])) ||
+              cm.text[pos] == ','))
+        ++pos;
+      std::size_t word_end = pos;
+      while (word_end < cm.text.size() &&
+             (ident_char(cm.text[word_end]) || cm.text[word_end] == '-'))
+        ++word_end;
+      const std::string verb = cm.text.substr(pos, word_end - pos);
+      if (verb != "allow" && verb != "allow-file") break;
+      const std::size_t open = cm.text.find('(', word_end);
+      if (open == std::string::npos) break;
+      const std::size_t close = cm.text.find(')', open);
+      if (close == std::string::npos) break;
+      std::string list = cm.text.substr(open + 1, close - open - 1);
+      std::istringstream ls(list);
+      std::string rule;
+      while (std::getline(ls, rule, ',')) {
+        const auto b = rule.find_first_not_of(" \t");
+        const auto e = rule.find_last_not_of(" \t");
+        if (b == std::string::npos) continue;
+        rule = rule.substr(b, e - b + 1);
+        if (verb == "allow-file" && cm.line <= 10)
+          sup.file_wide.insert(rule);
+        else
+          sup.by_line[cm.line].insert(rule);
+      }
+      pos = close + 1;
+    }
+  }
+  return sup;
+}
+
+// ---------------------------------------------------------------------------
+// Rule helpers
+// ---------------------------------------------------------------------------
+
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+bool path_contains(const std::string& path, const std::string& needle) {
+  return path.find(needle) != std::string::npos;
+}
+
+/// Index of the matching `)` for the `(` at `open` (token index), or npos.
+std::size_t match_paren(const std::vector<Token>& toks, std::size_t open) {
+  int depth = 0;
+  for (std::size_t i = open; i < toks.size(); ++i) {
+    if (toks[i].kind != TokKind::kPunct) continue;
+    if (toks[i].text == "(") ++depth;
+    if (toks[i].text == ")" && --depth == 0) return i;
+  }
+  return std::string::npos;
+}
+
+const std::set<std::string> kConcurrencyNames = {
+    "thread",        "jthread",
+    "async",         "mutex",
+    "timed_mutex",   "recursive_mutex",
+    "recursive_timed_mutex",
+    "shared_mutex",  "shared_timed_mutex",
+    "condition_variable", "condition_variable_any",
+};
+
+const std::set<std::string> kStdEngineNames = {
+    "mt19937",     "mt19937_64", "random_device", "default_random_engine",
+    "minstd_rand", "minstd_rand0", "ranlux24", "ranlux48", "knuth_b",
+};
+
+const std::set<std::string> kCRandNames = {"rand", "srand", "drand48",
+                                           "lrand48", "mrand48", "random"};
+
+const std::set<std::string> kTileMutators = {"write", "force_fault"};
+
+const std::set<std::string> kAssignOps = {"=",  "+=", "-=",  "*=",  "/=",
+                                          "%=", "&=", "|=",  "^=",  "<<=",
+                                          ">>=", "++", "--"};
+
+}  // namespace
+
+const std::vector<RuleInfo>& rules() {
+  static const std::vector<RuleInfo> kRules = {
+      {"concurrency",
+       "std::thread/std::async/std::mutex and friends outside "
+       "common/thread_pool (std::thread::hardware_concurrency is allowed)"},
+      {"randomness",
+       "rand()/std::random_device/std::mt19937 and other ad-hoc generators "
+       "outside common/rng"},
+      {"tile-invalidate",
+       "store.tile(..).write/force_fault without a store invalidate() (or "
+       "resync_counters()) within the next 40 lines"},
+      {"using-namespace-header", "`using namespace` in a header"},
+      {"dcheck-side-effect",
+       "++/--/assignment inside REFIT_DCHECK / REFIT_DCHECK_MSG, which "
+       "compile away under NDEBUG"},
+      {"pragma-once",
+       "header missing `#pragma once`, or `#pragma once` not before all "
+       "other code/preprocessor lines"},
+      {"file-header",
+       "file does not start with a `//` purpose-comment header"},
+  };
+  return kRules;
+}
+
+std::vector<Finding> lint_source(const std::string& path,
+                                 const std::string& content) {
+  const LexResult lx = lex(content);
+  const Suppressions sup = parse_suppressions(lx.comments);
+  const std::vector<Token>& t = lx.tokens;
+
+  const bool is_header = ends_with(path, ".hpp") || ends_with(path, ".h") ||
+                         ends_with(path, ".hh");
+  const bool owns_threads = path_contains(path, "common/thread_pool");
+  const bool owns_rng = path_contains(path, "common/rng");
+  const bool owns_tiles = path_contains(path, "rcs/crossbar_store");
+
+  std::vector<Finding> findings;
+  auto report = [&](const std::string& rule, int line,
+                    const std::string& message) {
+    if (!sup.allows(rule, line)) findings.push_back({path, line, rule, message});
+  };
+
+  // --- file-header: first line must be a `//` comment -----------------------
+  {
+    std::size_t p = 0;
+    while (p < content.size() &&
+           (content[p] == ' ' || content[p] == '\t'))
+      ++p;
+    const bool ok = content.compare(p, 2, "//") == 0;
+    if (!ok)
+      report("file-header", 1,
+             "file must start with a `//` comment describing its purpose");
+  }
+
+  // --- pragma-once ----------------------------------------------------------
+  if (is_header) {
+    int pragma_line = -1;
+    int first_other_pp = -1;
+    for (const PpLine& pp : lx.pp_lines) {
+      const bool is_pragma_once =
+          pp.text.compare(0, 6, "pragma") == 0 &&
+          pp.text.find("once") != std::string::npos;
+      if (is_pragma_once && pragma_line < 0)
+        pragma_line = pp.line;
+      else if (!is_pragma_once && first_other_pp < 0)
+        first_other_pp = pp.line;
+    }
+    const int first_code = t.empty() ? -1 : t.front().line;
+    if (pragma_line < 0) {
+      report("pragma-once", 1, "header is missing `#pragma once`");
+    } else {
+      if (first_other_pp >= 0 && first_other_pp < pragma_line)
+        report("pragma-once", pragma_line,
+               "`#pragma once` must precede all other preprocessor lines");
+      if (first_code >= 0 && first_code < pragma_line)
+        report("pragma-once", pragma_line,
+               "`#pragma once` must precede all code");
+    }
+  }
+
+  // --- token-stream rules ---------------------------------------------------
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    const Token& tok = t[i];
+    if (tok.kind != TokKind::kIdent) continue;
+
+    // std:: qualified names.
+    if (tok.text == "std" && i + 2 < t.size() && t[i + 1].text == "::" &&
+        t[i + 2].kind == TokKind::kIdent) {
+      const std::string& name = t[i + 2].text;
+      if (!owns_threads && kConcurrencyNames.count(name)) {
+        // std::thread::hardware_concurrency is a pure query, not a
+        // concurrency primitive — the bench harness records it.
+        const bool is_hw_query =
+            name == "thread" && i + 4 < t.size() && t[i + 3].text == "::" &&
+            t[i + 4].text == "hardware_concurrency";
+        if (!is_hw_query)
+          report("concurrency", tok.line,
+                 "std::" + name +
+                     " outside common/thread_pool — route concurrency "
+                     "through refit::ThreadPool");
+      }
+      if (!owns_rng && (kStdEngineNames.count(name) || name == "rand" ||
+                        name == "srand")) {
+        report("randomness", tok.line,
+               "std::" + name +
+                   " outside common/rng — draw from refit::Rng so runs "
+                   "are reproducible from one seed");
+      }
+    }
+
+    // Bare C rand()/srand()/drand48() calls. Excludes member access
+    // (`h.rand()`), qualified names other than std:: (handled above), and
+    // declarations (`int rand()` — previous token is a type name, i.e. an
+    // identifier that is not a statement keyword).
+    static const std::set<std::string> kCallPrefixKeywords = {
+        "return", "throw", "case", "do", "else",
+        "co_return", "co_await", "co_yield"};
+    const bool looks_like_call =
+        i == 0 || t[i - 1].kind != TokKind::kIdent ||
+        kCallPrefixKeywords.count(t[i - 1].text) > 0;
+    if (!owns_rng && kCRandNames.count(tok.text) && i + 1 < t.size() &&
+        t[i + 1].text == "(" && looks_like_call &&
+        (i == 0 || (t[i - 1].text != "." && t[i - 1].text != "::" &&
+                    t[i - 1].text != "->"))) {
+      report("randomness", tok.line,
+             tok.text + "() outside common/rng — draw from refit::Rng so "
+                        "runs are reproducible from one seed");
+    }
+
+    // tile(..).write(..) / tile(..).force_fault(..) without invalidate().
+    if (!owns_tiles && tok.text == "tile" && i + 1 < t.size() &&
+        t[i + 1].text == "(" && i > 0 &&
+        (t[i - 1].text == "." || t[i - 1].text == "->")) {
+      const std::size_t close = match_paren(t, i + 1);
+      if (close != std::string::npos && close + 2 < t.size() &&
+          t[close + 1].text == "." &&
+          kTileMutators.count(t[close + 2].text)) {
+        const int mut_line = t[close + 2].line;
+        bool resynced = false;
+        for (std::size_t j = close + 3; j < t.size(); ++j) {
+          if (t[j].line > mut_line + 40) break;
+          if (t[j].kind == TokKind::kIdent &&
+              (t[j].text == "invalidate" || t[j].text == "resync_counters")) {
+            resynced = true;
+            break;
+          }
+        }
+        if (!resynced)
+          report("tile-invalidate", mut_line,
+                 "tile()." + t[close + 2].text +
+                     "() mutates device state behind the store — call "
+                     "invalidate() afterwards to resync the cached "
+                     "effective weights and O(1) counters");
+      }
+    }
+
+    // using namespace in headers.
+    if (is_header && tok.text == "using" && i + 1 < t.size() &&
+        t[i + 1].text == "namespace") {
+      report("using-namespace-header", tok.line,
+             "`using namespace` in a header leaks into every includer");
+    }
+
+    // Side effects inside REFIT_DCHECK (compiled away under NDEBUG).
+    if ((tok.text == "REFIT_DCHECK" || tok.text == "REFIT_DCHECK_MSG") &&
+        i + 1 < t.size() && t[i + 1].text == "(") {
+      const std::size_t close = match_paren(t, i + 1);
+      if (close != std::string::npos) {
+        for (std::size_t j = i + 2; j < close; ++j) {
+          if (t[j].kind == TokKind::kPunct && kAssignOps.count(t[j].text)) {
+            report("dcheck-side-effect", t[j].line,
+                   "`" + t[j].text + "` inside " + tok.text +
+                       " — the argument is not evaluated under NDEBUG, so "
+                       "side effects vanish in release builds");
+            break;  // one finding per macro invocation is enough
+          }
+        }
+        i = close;  // do not re-flag nested tokens
+      }
+    }
+  }
+
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) { return a.line < b.line; });
+  return findings;
+}
+
+}  // namespace refit::lint

@@ -1,0 +1,110 @@
+// refit-lint CLI: scans the given files/directories for violations of the
+// REFIT project invariants (see lint.hpp) and reports them compiler-style
+// (`path:line: [rule] message`) so editors and CI can jump to them.
+//
+// Usage:
+//   refit_lint [--list-rules] <file-or-dir>...
+//
+// Exit status: 0 = clean, 1 = findings, 2 = usage or I/O error.
+// Directories are scanned recursively for .cpp/.hpp/.h/.cc/.hh files;
+// directories named `testdata` or starting with `build` are skipped so the
+// linter's own expected-findings fixtures never count against the tree.
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint.hpp"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+bool lintable_extension(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".cpp" || ext == ".hpp" || ext == ".h" || ext == ".cc" ||
+         ext == ".hh" || ext == ".cxx";
+}
+
+bool skip_dir(const fs::path& p) {
+  const std::string name = p.filename().string();
+  return name == "testdata" || name.rfind("build", 0) == 0 ||
+         name == ".git" || name == "third_party";
+}
+
+void collect(const fs::path& root, std::vector<fs::path>& out) {
+  if (fs::is_regular_file(root)) {
+    if (lintable_extension(root)) out.push_back(root);
+    return;
+  }
+  for (auto it = fs::recursive_directory_iterator(root);
+       it != fs::recursive_directory_iterator(); ++it) {
+    if (it->is_directory() && skip_dir(it->path())) {
+      it.disable_recursion_pending();
+      continue;
+    }
+    if (it->is_regular_file() && lintable_extension(it->path()))
+      out.push_back(it->path());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  if (!args.empty() && args[0] == "--list-rules") {
+    for (const auto& r : refit::lint::rules())
+      std::cout << r.name << "\n    " << r.description << "\n";
+    return 0;
+  }
+  if (args.empty()) {
+    std::cerr << "usage: refit_lint [--list-rules] <file-or-dir>...\n";
+    return 2;
+  }
+
+  std::vector<fs::path> files;
+  for (const std::string& a : args) {
+    if (!fs::exists(a)) {
+      std::cerr << "refit_lint: no such file or directory: " << a << "\n";
+      return 2;
+    }
+    collect(a, files);
+  }
+  std::sort(files.begin(), files.end());
+
+  std::size_t total = 0;
+  std::map<std::string, std::size_t> per_rule;
+  for (const fs::path& f : files) {
+    std::ifstream in(f, std::ios::binary);
+    if (!in) {
+      std::cerr << "refit_lint: cannot read " << f << "\n";
+      return 2;
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    const auto findings =
+        refit::lint::lint_source(f.generic_string(), ss.str());
+    for (const auto& fd : findings) {
+      std::cout << fd.file << ":" << fd.line << ": [" << fd.rule << "] "
+                << fd.message << "\n";
+      ++per_rule[fd.rule];
+      ++total;
+    }
+  }
+
+  if (total == 0) {
+    std::cout << "refit-lint: " << files.size() << " files clean\n";
+    return 0;
+  }
+  std::cout << "refit-lint: " << total << " finding(s) in " << files.size()
+            << " files scanned:";
+  for (const auto& [rule, count] : per_rule)
+    std::cout << " " << rule << "=" << count;
+  std::cout << "\n(suppress a deliberate use with `// refit-lint: "
+               "allow(<rule>)` on or above the line)\n";
+  return 1;
+}

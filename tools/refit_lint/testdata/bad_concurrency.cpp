@@ -1,0 +1,32 @@
+// Fixture: concurrency primitives outside common/thread_pool.
+#include <thread>
+
+void spawn_raw_thread() {
+  std::thread t([] {});  // EXPECT-LINT: concurrency
+  t.join();
+}
+
+void raw_mutex() {
+  static std::mutex mu;  // EXPECT-LINT: concurrency
+  (void)mu;
+}
+
+void raw_async() {
+  auto f = std::async([] { return 1; });  // EXPECT-LINT: concurrency
+  (void)f;
+}
+
+void raw_condvar() {
+  std::condition_variable cv;  // EXPECT-LINT: concurrency
+  (void)cv;
+}
+
+unsigned hw_query_is_fine() {
+  return std::thread::hardware_concurrency();
+}
+
+void suppressed_mutex() {
+  // refit-lint: allow(concurrency)
+  static std::mutex deliberate;
+  (void)deliberate;
+}

@@ -1,0 +1,11 @@
+// Fixture: `#pragma once` appearing after another preprocessor line, plus
+// `using namespace` at header scope.
+#include <vector>
+#pragma once
+// EXPECT-LINT@4: pragma-once
+
+using namespace std;  // EXPECT-LINT: using-namespace-header
+
+inline int count_things(const std::vector<int>& v) {
+  return static_cast<int>(v.size());
+}

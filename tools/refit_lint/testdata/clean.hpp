@@ -1,0 +1,21 @@
+// Fixture: a fully conforming header — zero expected findings. Exercises
+// the lexer corners (raw strings, char literals, block comments, string
+// contents that mention std::thread and rand() without using them).
+#pragma once
+
+#include <string>
+
+namespace fixture {
+
+/* A block comment mentioning std::mutex — comments never trigger rules. */
+inline std::string banner() {
+  return "std::thread and rand() in a string literal are fine";
+}
+
+inline std::string raw() {
+  return R"(std::random_device inside a raw string, also fine)";
+}
+
+inline char quote() { return '"'; }
+
+}  // namespace fixture

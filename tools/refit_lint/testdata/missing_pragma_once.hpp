@@ -1,0 +1,4 @@
+// Fixture: header with no include guard at all.
+// EXPECT-LINT@1: pragma-once
+
+inline int three() { return 3; }
