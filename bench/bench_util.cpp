@@ -73,6 +73,21 @@ TrainingResult run_training(Network& net, RcsSystem* rcs, const Dataset& data,
   return trainer.train(net, rcs, data, Rng(seed));
 }
 
+TrainingResult ScenarioBuilder::run(FtBaseline baseline) const {
+  const FtFlowConfig cfg = FtTrainer::baseline_config(baseline, flow_);
+  Rng net_rng(2);
+  if (baseline == FtBaseline::kIdeal) {
+    Network net = make_vgg_mini(model_, software_store_factory(),
+                                software_store_factory(), net_rng);
+    return run_training(net, nullptr, *data_, cfg, 3);
+  }
+  RcsSystem sys(rcs_, Rng(42));
+  const StoreFactory conv =
+      fc_only_ ? software_store_factory() : sys.factory();
+  Network net = make_vgg_mini(model_, conv, sys.factory(), net_rng);
+  return run_training(net, &sys, *data_, cfg, 3);
+}
+
 double accuracy_at(const TrainingResult& r, std::size_t iteration) {
   // Last recorded evaluation at or before `iteration`.
   double acc = 0.0;

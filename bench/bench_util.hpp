@@ -50,6 +50,42 @@ FtFlowConfig mlp_flow(std::size_t iterations);
 TrainingResult run_training(Network& net, RcsSystem* rcs, const Dataset& data,
                             const FtFlowConfig& cfg, std::uint64_t seed);
 
+/// Runs the paper's four baseline configurations (Fig. 7 curves) with the
+/// benches' fixed seeds: network init Rng(2), RcsSystem Rng(42), training
+/// seed 3. Each run() builds a fresh network — and a fresh RcsSystem for
+/// the on-RCS baselines — so successive curves are independent and
+/// deterministic. The flow config passed at construction supplies the
+/// schedule (iterations / lr / eval cadence); FtTrainer::baseline_config
+/// derives the per-curve feature toggles from it.
+class ScenarioBuilder {
+ public:
+  ScenarioBuilder(const Dataset& data, VggMiniConfig model, FtFlowConfig flow)
+      : data_(&data), model_(model), flow_(flow) {}
+
+  /// Device configuration for the on-RCS baselines (ideal ignores it).
+  ScenarioBuilder& rcs(const RcsConfig& rc) {
+    rcs_ = rc;
+    return *this;
+  }
+
+  /// Keep Conv layers in software and map only the FC layers onto the
+  /// RCS — the paper's Fig. 7(b) case.
+  ScenarioBuilder& fc_only(bool on) {
+    fc_only_ = on;
+    return *this;
+  }
+
+  /// Train one baseline curve and return its trace.
+  TrainingResult run(FtBaseline baseline) const;
+
+ private:
+  const Dataset* data_;
+  VggMiniConfig model_;
+  FtFlowConfig flow_;
+  RcsConfig rcs_ = rcs_defaults();
+  bool fc_only_ = false;
+};
+
 /// Interpolate a training curve onto fixed iteration grid points so that
 /// several runs can be printed side by side.
 double accuracy_at(const TrainingResult& r, std::size_t iteration);

@@ -17,27 +17,22 @@ using namespace refit::bench;
 int main() {
   const std::size_t iters = scaled(1200);
   const Dataset data = cifar_like();
-  const VggMiniConfig vc = vgg_mini_config();
-  const FtFlowConfig cfg = cnn_flow(iters);
+  ScenarioBuilder scenario(data, vgg_mini_config(), cnn_flow(iters));
 
-  auto run_faulty = [&](double fault_fraction) {
+  auto faulty_rc = [&](double fault_fraction) {
     RcsConfig rc = rcs_defaults();
     rc.inject_fabrication = true;
     rc.fabrication.fraction = fault_fraction;
     rc.endurance = EnduranceModel::gaussian(0.8 * static_cast<double>(iters),
                                             0.24 * static_cast<double>(iters));
-    Rng rng(2);
-    RcsSystem sys(rc, Rng(42));
-    Network net = make_vgg_mini(vc, sys.factory(), sys.factory(), rng);
-    return run_training(net, &sys, data, cfg, 3);
+    return rc;
   };
 
-  Rng rng(2);
-  Network ideal_net = make_vgg_mini(vc, software_store_factory(),
-                                    software_store_factory(), rng);
-  const TrainingResult ideal = run_training(ideal_net, nullptr, data, cfg, 3);
-  const TrainingResult f10 = run_faulty(0.10);
-  const TrainingResult f30 = run_faulty(0.30);
+  const TrainingResult ideal = scenario.run(FtBaseline::kIdeal);
+  const TrainingResult f10 =
+      scenario.rcs(faulty_rc(0.10)).run(FtBaseline::kOriginal);
+  const TrainingResult f30 =
+      scenario.rcs(faulty_rc(0.30)).run(FtBaseline::kOriginal);
 
   SeriesPrinter out(std::cout, "FIG1 training accuracy vs initial faults");
   out.paper_reference(

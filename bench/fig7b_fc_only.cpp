@@ -17,7 +17,6 @@ using namespace refit::bench;
 int main() {
   const std::size_t iters = scaled(1200);
   const Dataset data = cifar_like();
-  const VggMiniConfig vc = vgg_mini_config();
 
   RcsConfig rc = rcs_defaults();
   rc.inject_fabrication = true;
@@ -26,33 +25,12 @@ int main() {
   rc.endurance = EnduranceModel::gaussian(20.0 * static_cast<double>(iters),
                                           6.0 * static_cast<double>(iters));
 
-  auto run_case = [&](bool threshold, bool ft) {
-    FtFlowConfig cfg = cnn_flow(iters);
-    cfg.threshold_training = threshold;
-    if (ft) {
-      cfg.detection_enabled = true;
-      cfg.detection_period = iters / 6;
-      cfg.prune.enabled = true;
-      cfg.prune.fc_sparsity = 0.3;
-      cfg.prune.conv_sparsity = 0.0;
-      cfg.remap_enabled = true;
-      cfg.remap.algorithm = RemapAlgorithm::kHungarian;
-    }
-    Rng rng(2);
-    RcsSystem sys(rc, Rng(42));
-    Network net = make_vgg_mini(vc, software_store_factory(), sys.factory(),
-                                rng);
-    return run_training(net, &sys, data, cfg, 3);
-  };
-
-  Rng rng(2);
-  Network ideal_net = make_vgg_mini(vc, software_store_factory(),
-                                    software_store_factory(), rng);
-  const TrainingResult ideal =
-      run_training(ideal_net, nullptr, data, cnn_flow(iters), 3);
-  const TrainingResult original = run_case(false, false);
-  const TrainingResult threshold = run_case(true, false);
-  const TrainingResult full = run_case(true, true);
+  ScenarioBuilder scenario(data, vgg_mini_config(), cnn_flow(iters));
+  scenario.rcs(rc).fc_only(true);
+  const TrainingResult ideal = scenario.run(FtBaseline::kIdeal);
+  const TrainingResult original = scenario.run(FtBaseline::kOriginal);
+  const TrainingResult threshold = scenario.run(FtBaseline::kThreshold);
+  const TrainingResult full = scenario.run(FtBaseline::kFullFlow);
 
   SeriesPrinter out(std::cout, "FIG7B FC-only fault-tolerant training");
   out.paper_reference(

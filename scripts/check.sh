@@ -3,6 +3,7 @@
 #
 #   tier1       RelWithDebInfo build (-DREFIT_WERROR=ON) + full ctest suite
 #   lint        refit-lint static analysis over src/tests/bench/examples/tools
+#   bench-smoke figure-reproduction benches end to end under REFIT_FAST=1
 #   asan-ubsan  full suite under AddressSanitizer + UBSan
 #   tsan        parallel-backend tests under ThreadSanitizer (REFIT_THREADS=4)
 #
@@ -44,6 +45,18 @@ if ./build/tools/refit_lint src tests bench examples tools; then
   lint_rc=0
 fi
 record lint $lint_rc
+
+banner "bench-smoke: figure benches under REFIT_FAST=1"
+bench_rc=0
+for b in fig1_motivation fig6_detection fig7a_entire_cnn fig7b_fc_only; do
+  if REFIT_FAST=1 "./build/bench/$b" > /dev/null; then
+    echo "  $b OK"
+  else
+    echo "  $b FAILED"
+    bench_rc=1
+  fi
+done
+record bench-smoke $bench_rc
 
 banner "asan-ubsan: full test suite under ASan + UBSan"
 asan_rc=1

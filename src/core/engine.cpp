@@ -1,0 +1,492 @@
+// Phase-decomposed fault-tolerant training engine (see engine.hpp).
+#include "core/engine.hpp"
+
+#include <algorithm>
+#include <istream>
+#include <ostream>
+#include <utility>
+
+#include "common/log.hpp"
+#include "common/serialize.hpp"
+#include "nn/loss.hpp"
+
+namespace refit {
+
+double EngineContext::evaluate(std::size_t iter) {
+  const double acc = net->evaluate(eval_images, eval_labels);
+  result.eval_iterations.push_back(iter);
+  result.eval_accuracy.push_back(acc);
+  result.fault_fraction.push_back(rcs != nullptr ? rcs->fault_fraction()
+                                                 : 0.0);
+  result.peak_accuracy = std::max(result.peak_accuracy, acc);
+  return acc;
+}
+
+// ---- TrainStepPhase ------------------------------------------------------
+
+namespace {
+ThresholdConfig effective_threshold(const FtFlowConfig& cfg) {
+  ThresholdConfig thr = cfg.threshold;
+  // θ = 0 sends every update through apply_delta_full — the "original"
+  // scheme that re-programs the whole array each step.
+  if (!cfg.threshold_training) thr.threshold_ratio = 0.0;
+  return thr;
+}
+}  // namespace
+
+TrainStepPhase::TrainStepPhase(const FtFlowConfig& cfg)
+    : updater_(effective_threshold(cfg), cfg.lr) {}
+
+bool TrainStepPhase::due(const EngineContext& ctx) const {
+  (void)ctx;
+  return true;
+}
+
+void TrainStepPhase::run(EngineContext& ctx) {
+  const FtFlowConfig& cfg = *ctx.cfg;
+  const Batch batch = ctx.batcher->next();
+  Tensor logits = ctx.net->forward(batch.images, /*train=*/true);
+  LossResult loss = softmax_cross_entropy(logits, batch.labels);
+  ctx.net->backward(loss.grad_logits);
+  auto params = ctx.net->params();
+  const ThresholdStepStats st = updater_.step(
+      params, ctx.iteration,
+      cfg.prune.enabled ? &ctx.prune_state : nullptr,
+      (cfg.skip_writes_on_detected_faults && !ctx.detected.empty())
+          ? &ctx.detected
+          : nullptr);
+  ctx.result.updates_written += st.writes_issued;
+  ctx.result.updates_suppressed += st.writes_suppressed;
+  ctx.result.updates_zero += st.updates_zero;
+  ctx.net->zero_grad();
+}
+
+// ---- DetectionPhase ------------------------------------------------------
+
+bool DetectionPhase::due(const EngineContext& ctx) const {
+  const FtFlowConfig& cfg = *ctx.cfg;
+  return cfg.detection_enabled && ctx.rcs != nullptr &&
+         cfg.detection_period > 0 &&
+         ctx.iteration % cfg.detection_period == 0;
+}
+
+void DetectionPhase::run(EngineContext& ctx) {
+  const FtFlowConfig& cfg = *ctx.cfg;
+  Network& net = *ctx.net;
+  RcsSystem& rcs = *ctx.rcs;
+  PhaseEvent ev;
+  ev.iteration = ctx.iteration;
+  ++ctx.phase_count;
+  ctx.detection_iteration = ctx.iteration;
+
+  // "On-line detection": per-store quiescent-voltage testing → F of §5.2.
+  const QuiescentVoltageDetector detector(cfg.detector);
+  ConfusionCounts confusion;
+  for (CrossbarWeightStore* store : rcs.stores()) {
+    DetectionOutcome outcome = detector.detect_store(*store);
+    confusion += evaluate_detection(*store, outcome.predicted);
+    ctx.detected[store] = std::move(outcome.predicted);
+    ev.cycles += outcome.cycles;
+    ev.detection_writes += outcome.device_writes;
+  }
+  ev.precision = confusion.precision();
+  ev.recall = confusion.recall();
+
+  // "Generate pruning": compute the masks from the off-chip target weights
+  // *before* any read-back, so the mask reflects functional importance (the
+  // paper's P comes from software training and is fault-agnostic); the
+  // re-mapping phase is what aligns P with the fault distribution F.
+  if (cfg.prune.enabled) {
+    if (cfg.prune.structured) {
+      // A structured mask is kept stable once chosen: re-ranking neurons
+      // every phase would flip membership and repeatedly zero/revive whole
+      // units, which costs far more accuracy than a slightly stale ranking.
+      if (ctx.prune_state.empty()) {
+        ctx.prune_state =
+            compute_structured_pruning(net, cfg.prune.neuron_sparsity);
+      }
+    } else {
+      ctx.prune_state = PruneState::compute(net, cfg.prune);
+    }
+  }
+
+  // Read the fault-hosted weights back off-chip (Fig. 3's read/store step,
+  // applied where it matters): their targets collapse to what the device
+  // actually computes, so re-mapping relocates the functioning network
+  // instead of stale off-chip values. Healthy cells keep their full-
+  // precision off-chip accumulation.
+  for (CrossbarWeightStore* store : rcs.stores()) {
+    store->sync_targets_where(ctx.detected[store]);
+  }
+
+  // Write the pruned zeros (the pruned network P of §5.2).
+  if (cfg.prune.enabled) {
+    ctx.prune_state.apply_to(net);
+  }
+
+  ctx.result.phases.push_back(ev);
+}
+
+// ---- RemapPhase ----------------------------------------------------------
+
+bool RemapPhase::due(const EngineContext& ctx) const {
+  const FtFlowConfig& cfg = *ctx.cfg;
+  // Runs only in an iteration whose detection phase just completed (the
+  // phase list places it right after DetectionPhase), and only during the
+  // first remap_max_phases detections.
+  return cfg.remap_enabled && ctx.detection_iteration == ctx.iteration &&
+         !ctx.result.phases.empty() &&
+         ctx.phase_count <= cfg.remap_max_phases;
+}
+
+void RemapPhase::run(EngineContext& ctx) {
+  // "Re-mapping": align the pruned zeros with the detected SA0 cells.
+  const RemapReport rr = remap_network(*ctx.net, ctx.detected,
+                                       ctx.prune_state, ctx.cfg->remap,
+                                       ctx.phase_rng);
+  PhaseEvent& ev = ctx.result.phases.back();
+  ev.remap_cost_before = rr.cost_before;
+  ev.remap_cost_after = rr.cost_after;
+}
+
+// ---- EvalPhase -----------------------------------------------------------
+
+bool EvalPhase::due(const EngineContext& ctx) const {
+  return ctx.cfg->eval_period > 0 &&
+         ctx.iteration % ctx.cfg->eval_period == 0;
+}
+
+void EvalPhase::run(EngineContext& ctx) {
+  const double acc = ctx.evaluate(ctx.iteration);
+  REFIT_DEBUG("iter " << ctx.iteration << " acc=" << acc);
+}
+
+// ---- FtEngine ------------------------------------------------------------
+
+FtEngine::FtEngine(FtFlowConfig cfg) : cfg_(cfg) {
+  phases_ = standard_phases(cfg_);
+}
+
+FtEngine::FtEngine(FtFlowConfig cfg, std::vector<std::unique_ptr<Phase>> phases)
+    : cfg_(cfg), phases_(std::move(phases)) {}
+
+std::vector<std::unique_ptr<Phase>> FtEngine::standard_phases(
+    const FtFlowConfig& cfg) {
+  std::vector<std::unique_ptr<Phase>> phases;
+  phases.push_back(std::make_unique<DetectionPhase>());
+  phases.push_back(std::make_unique<RemapPhase>());
+  phases.push_back(std::make_unique<TrainStepPhase>(cfg));
+  phases.push_back(std::make_unique<EvalPhase>());
+  return phases;
+}
+
+void FtEngine::add_observer(EngineObserver* obs) {
+  if (obs != nullptr) observers_.push_back(obs);
+}
+
+void FtEngine::bind(Network& net, RcsSystem* rcs, const Dataset& data) {
+  ctx_.net = &net;
+  ctx_.rcs = rcs;
+  ctx_.data = &data;
+  ctx_.cfg = &cfg_;
+  const std::size_t eval_n = std::min(cfg_.eval_samples, data.test_size());
+  ctx_.eval_images = slice_batch(data.test_images, 0, eval_n);
+  ctx_.eval_labels.assign(
+      data.test_labels.begin(),
+      data.test_labels.begin() + static_cast<std::ptrdiff_t>(eval_n));
+}
+
+void FtEngine::begin(Network& net, RcsSystem* rcs, const Dataset& data,
+                     Rng rng) {
+  REFIT_CHECK(cfg_.iterations > 0 && cfg_.batch_size > 0);
+  // An engine may be reused across runs; per-run state starts fresh.
+  ctx_ = EngineContext{};
+  bind(net, rcs, data);
+  ctx_.batch_rng = rng.split(1);
+  ctx_.phase_rng = rng.split(2);
+  // The Batcher holds a reference to ctx_.batch_rng (stable: ctx_ is a
+  // member and never relocates) and draws its first shuffle here.
+  ctx_.batcher = std::make_unique<Batcher>(data, cfg_.batch_size,
+                                           ctx_.batch_rng);
+  ctx_.writes_at_start = rcs != nullptr ? rcs->total_device_writes() : 0;
+  begun_ = true;
+  ctx_.evaluate(0);
+  for (auto* obs : observers_) obs->on_run_begin(ctx_);
+}
+
+bool FtEngine::done() const { return ctx_.iteration >= cfg_.iterations; }
+
+void FtEngine::step() {
+  REFIT_CHECK_MSG(begun_, "FtEngine::step() before begin()");
+  REFIT_CHECK_MSG(!done(), "FtEngine::step() past the end of the run");
+  ++ctx_.iteration;
+  for (const auto& phase : phases_) {
+    if (!phase->due(ctx_)) continue;
+    for (auto* obs : observers_) obs->on_phase_begin(*phase, ctx_);
+    phase->run(ctx_);
+    for (auto* obs : observers_) obs->on_phase_end(*phase, ctx_);
+  }
+  if (ctx_.detection_iteration == ctx_.iteration &&
+      !ctx_.result.phases.empty()) {
+    const PhaseEvent& ev = ctx_.result.phases.back();
+    REFIT_DEBUG("detection @" << ctx_.iteration << ": precision="
+                              << ev.precision << " recall=" << ev.recall
+                              << " remap " << ev.remap_cost_before << "→"
+                              << ev.remap_cost_after);
+  }
+  for (auto* obs : observers_) obs->on_iteration_end(ctx_);
+}
+
+TrainingResult FtEngine::finish() {
+  REFIT_CHECK_MSG(begun_, "FtEngine::finish() before begin()");
+  ctx_.result.final_accuracy = ctx_.evaluate(cfg_.iterations);
+  if (ctx_.rcs != nullptr) {
+    ctx_.result.device_writes =
+        ctx_.rcs->total_device_writes() - ctx_.writes_at_start;
+    ctx_.result.wearout_faults = ctx_.rcs->wearout_fault_count();
+    ctx_.result.final_fault_fraction = ctx_.rcs->fault_fraction();
+  }
+  for (auto* obs : observers_) obs->on_run_end(ctx_);
+  begun_ = false;
+  return std::move(ctx_.result);
+}
+
+TrainingResult FtEngine::run(Network& net, RcsSystem* rcs, const Dataset& data,
+                             Rng rng) {
+  begin(net, rcs, data, rng);
+  while (!done()) step();
+  return finish();
+}
+
+// ---- Checkpointing -------------------------------------------------------
+
+namespace {
+
+constexpr std::uint64_t kEngineTag = 0x5245464954454E47ULL;  // "REFITENG"
+constexpr std::uint32_t kEngineVersion = 1;
+
+void write_tensor(std::ostream& os, const Tensor& t) {
+  std::vector<std::uint64_t> shape(t.shape().begin(), t.shape().end());
+  ser::write_vec(os, shape);
+  ser::write_vec(os, t.vec());
+}
+
+Tensor read_tensor(std::istream& is) {
+  const auto shape64 = ser::read_vec<std::uint64_t>(is);
+  Shape shape(shape64.begin(), shape64.end());
+  auto data = ser::read_vec<float>(is);
+  return Tensor(shape, std::move(data));
+}
+
+void write_size_vec(std::ostream& os, const std::vector<std::size_t>& v) {
+  std::vector<std::uint64_t> tmp(v.begin(), v.end());
+  ser::write_vec(os, tmp);
+}
+
+std::vector<std::size_t> read_size_vec(std::istream& is) {
+  const auto tmp = ser::read_vec<std::uint64_t>(is);
+  return {tmp.begin(), tmp.end()};
+}
+
+void write_fault_matrix(std::ostream& os, const FaultMatrix& fm) {
+  ser::write_pod<std::uint64_t>(os, fm.rows());
+  ser::write_pod<std::uint64_t>(os, fm.cols());
+  std::vector<std::uint8_t> cells(fm.cells().size());
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    cells[i] = static_cast<std::uint8_t>(fm.cells()[i]);
+  }
+  ser::write_vec(os, cells);
+}
+
+FaultMatrix read_fault_matrix(std::istream& is) {
+  const auto rows = static_cast<std::size_t>(ser::read_pod<std::uint64_t>(is));
+  const auto cols = static_cast<std::size_t>(ser::read_pod<std::uint64_t>(is));
+  const auto raw = ser::read_vec<std::uint8_t>(is);
+  std::vector<FaultKind> cells(raw.size());
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    cells[i] = static_cast<FaultKind>(raw[i]);
+  }
+  return FaultMatrix(rows, cols, std::move(cells));
+}
+
+void write_prune_mask(std::ostream& os, const PruneMask& mask) {
+  ser::write_pod<std::uint64_t>(os, mask.rows);
+  ser::write_pod<std::uint64_t>(os, mask.cols);
+  std::vector<std::uint8_t> bits(mask.pruned.size());
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    bits[i] = mask.pruned[i] ? 1 : 0;
+  }
+  ser::write_vec(os, bits);
+}
+
+PruneMask read_prune_mask(std::istream& is) {
+  PruneMask mask;
+  mask.rows = static_cast<std::size_t>(ser::read_pod<std::uint64_t>(is));
+  mask.cols = static_cast<std::size_t>(ser::read_pod<std::uint64_t>(is));
+  const auto bits = ser::read_vec<std::uint8_t>(is);
+  REFIT_CHECK_MSG(bits.size() == mask.rows * mask.cols,
+                  "corrupt engine checkpoint (prune mask)");
+  mask.pruned.resize(bits.size());
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    mask.pruned[i] = bits[i] != 0;
+  }
+  return mask;
+}
+
+void write_result(std::ostream& os, const TrainingResult& r) {
+  write_size_vec(os, r.eval_iterations);
+  ser::write_vec(os, r.eval_accuracy);
+  ser::write_vec(os, r.fault_fraction);
+  ser::write_pod(os, r.peak_accuracy);
+  ser::write_pod(os, r.final_accuracy);
+  ser::write_pod(os, r.device_writes);
+  ser::write_pod(os, r.updates_written);
+  ser::write_pod(os, r.updates_suppressed);
+  ser::write_pod(os, r.updates_zero);
+  ser::write_pod<std::uint64_t>(os, r.wearout_faults);
+  ser::write_pod(os, r.final_fault_fraction);
+  ser::write_vec(os, r.phases);
+}
+
+TrainingResult read_result(std::istream& is) {
+  TrainingResult r;
+  r.eval_iterations = read_size_vec(is);
+  r.eval_accuracy = ser::read_vec<double>(is);
+  r.fault_fraction = ser::read_vec<double>(is);
+  r.peak_accuracy = ser::read_pod<double>(is);
+  r.final_accuracy = ser::read_pod<double>(is);
+  r.device_writes = ser::read_pod<std::uint64_t>(is);
+  r.updates_written = ser::read_pod<std::uint64_t>(is);
+  r.updates_suppressed = ser::read_pod<std::uint64_t>(is);
+  r.updates_zero = ser::read_pod<std::uint64_t>(is);
+  r.wearout_faults =
+      static_cast<std::size_t>(ser::read_pod<std::uint64_t>(is));
+  r.final_fault_fraction = ser::read_pod<double>(is);
+  r.phases = ser::read_vec<PhaseEvent>(is);
+  return r;
+}
+
+}  // namespace
+
+void FtEngine::save_checkpoint(std::ostream& os) const {
+  REFIT_CHECK_MSG(begun_, "save_checkpoint() outside an active run");
+  ser::write_tag(os, kEngineTag);
+  ser::write_pod(os, kEngineVersion);
+  ser::write_pod(os, cfg_);
+
+  ser::write_pod<std::uint64_t>(os, ctx_.iteration);
+  ser::write_pod<std::uint64_t>(os, ctx_.phase_count);
+  ser::write_pod<std::uint64_t>(os, ctx_.detection_iteration);
+  ser::write_pod(os, ctx_.batch_rng.state());
+  ser::write_pod(os, ctx_.phase_rng.state());
+  ctx_.batcher->save(os);
+  ser::write_pod(os, ctx_.writes_at_start);
+  write_result(os, ctx_.result);
+
+  // Every trainable parameter, in network order: full device state for
+  // store-backed matrices, the raw tensor for peripheral (bias) params.
+  auto params = ctx_.net->params();
+  ser::write_pod<std::uint64_t>(os, params.size());
+  for (const Param& p : params) {
+    if (p.store != nullptr) {
+      ser::write_pod<std::uint8_t>(os, 1);
+      p.store->save_state(os);
+    } else {
+      ser::write_pod<std::uint8_t>(os, 0);
+      write_tensor(os, *p.value);
+    }
+  }
+
+  // Prune masks and detected-fault maps, keyed by matrix-layer index (the
+  // unordered_map key is a pointer — meaningless across processes).
+  auto layers = ctx_.net->matrix_layers();
+  ser::write_pod<std::uint64_t>(os, layers.size());
+  for (MatrixLayer* layer : layers) {
+    const WeightStore* store = &layer->weights();
+    const PruneMask* mask = ctx_.prune_state.mask_for(store);
+    ser::write_pod<std::uint8_t>(os, mask != nullptr ? 1 : 0);
+    if (mask != nullptr) write_prune_mask(os, *mask);
+    const auto it = ctx_.detected.find(store);
+    const bool has_fm = it != ctx_.detected.end();
+    ser::write_pod<std::uint8_t>(os, has_fm ? 1 : 0);
+    if (has_fm) write_fault_matrix(os, it->second);
+  }
+
+  // Phase-local state (no-ops for the standard phases).
+  for (const auto& phase : phases_) phase->save(os);
+}
+
+void FtEngine::load_checkpoint(Network& net, RcsSystem* rcs,
+                               const Dataset& data, std::istream& is) {
+  ser::expect_tag(is, kEngineTag);
+  const auto version = ser::read_pod<std::uint32_t>(is);
+  REFIT_CHECK_MSG(version == kEngineVersion,
+                  "unsupported engine checkpoint version");
+  const auto saved_cfg = ser::read_pod<FtFlowConfig>(is);
+  REFIT_CHECK_MSG(saved_cfg.iterations == cfg_.iterations &&
+                      saved_cfg.batch_size == cfg_.batch_size &&
+                      saved_cfg.detection_period == cfg_.detection_period &&
+                      saved_cfg.eval_period == cfg_.eval_period,
+                  "engine checkpoint was written with a different config");
+
+  ctx_ = EngineContext{};
+  bind(net, rcs, data);
+  ctx_.iteration = static_cast<std::size_t>(ser::read_pod<std::uint64_t>(is));
+  ctx_.phase_count =
+      static_cast<std::size_t>(ser::read_pod<std::uint64_t>(is));
+  ctx_.detection_iteration =
+      static_cast<std::size_t>(ser::read_pod<std::uint64_t>(is));
+  const auto batch_state = ser::read_pod<Rng::State>(is);
+  const auto phase_state = ser::read_pod<Rng::State>(is);
+  // Construct the batcher first — its constructor draws a shuffle from the
+  // RNG — then pin both streams to the saved states and overwrite the
+  // shuffle with the saved order, so the resumed stream position is exact.
+  ctx_.batcher = std::make_unique<Batcher>(data, cfg_.batch_size,
+                                           ctx_.batch_rng);
+  ctx_.batch_rng.set_state(batch_state);
+  ctx_.phase_rng.set_state(phase_state);
+  ctx_.batcher->load(is);
+  ctx_.writes_at_start = ser::read_pod<std::uint64_t>(is);
+  ctx_.result = read_result(is);
+
+  auto params = net.params();
+  const auto nparams =
+      static_cast<std::size_t>(ser::read_pod<std::uint64_t>(is));
+  REFIT_CHECK_MSG(nparams == params.size(),
+                  "engine checkpoint does not match the network");
+  for (Param& p : params) {
+    const auto is_store = ser::read_pod<std::uint8_t>(is);
+    if (is_store != 0) {
+      REFIT_CHECK_MSG(p.store != nullptr,
+                      "engine checkpoint does not match the network");
+      p.store->restore_state(is);
+    } else {
+      REFIT_CHECK_MSG(p.value != nullptr,
+                      "engine checkpoint does not match the network");
+      Tensor t = read_tensor(is);
+      REFIT_CHECK_MSG(t.shape() == p.value->shape(),
+                      "engine checkpoint does not match the network");
+      *p.value = std::move(t);
+    }
+  }
+
+  auto layers = net.matrix_layers();
+  const auto nlayers =
+      static_cast<std::size_t>(ser::read_pod<std::uint64_t>(is));
+  REFIT_CHECK_MSG(nlayers == layers.size(),
+                  "engine checkpoint does not match the network");
+  for (MatrixLayer* layer : layers) {
+    const WeightStore* store = &layer->weights();
+    if (ser::read_pod<std::uint8_t>(is) != 0) {
+      ctx_.prune_state.merge_mask(store, read_prune_mask(is));
+    }
+    if (ser::read_pod<std::uint8_t>(is) != 0) {
+      ctx_.detected[store] = read_fault_matrix(is);
+    }
+  }
+
+  for (const auto& phase : phases_) phase->load(is);
+  begun_ = true;
+}
+
+}  // namespace refit

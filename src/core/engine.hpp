@@ -1,0 +1,279 @@
+// FtEngine — the fault-tolerant on-line training flow (paper Fig. 2) as an
+// ordered list of pluggable phases over a shared EngineContext.
+//
+// Every iteration the engine asks each phase, in order, whether it is due
+// and runs the ones that are:
+//
+//   DetectionPhase  every detection_period iterations: quiescent-voltage
+//                   testing per store, pruning-mask refresh, targeted
+//                   read-back, prune write-back  (Fig. 2 right-hand side)
+//   RemapPhase      immediately after a detection, early phases only:
+//                   neuron re-ordering aligning pruned zeros with SA0 cells
+//   TrainStepPhase  always: forward on the RCS, backward, threshold update
+//   EvalPhase       every eval_period iterations: test-subset accuracy
+//
+// The phases share one EngineContext (network, RcsSystem, prune/detected
+// state, RNG streams, counters, accumulating TrainingResult); observers
+// attach at phase boundaries for tracing without touching the flow; and
+// the context is serializable, so a run can checkpoint and resume
+// mid-flow bit-identically (save_checkpoint / load_checkpoint).
+//
+// Swapping a phase is how related flows are meant to be built: an on-line
+// soft-error scrubber replaces DetectionPhase, a drop-connect update rule
+// replaces TrainStepPhase — without forking the loop. The legacy
+// FtTrainer facade (core/ft_trainer.hpp) assembles the paper's four
+// baseline configurations on top of this engine.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <vector>
+
+#include "core/prune.hpp"
+#include "core/remap.hpp"
+#include "core/threshold_trainer.hpp"
+#include "data/dataset.hpp"
+#include "detect/quiescent_detector.hpp"
+#include "nn/network.hpp"
+#include "nn/optimizer.hpp"
+#include "rcs/rcs_system.hpp"
+
+namespace refit {
+
+/// Configuration of the full flow.
+struct FtFlowConfig {
+  std::size_t iterations = 3000;
+  std::size_t batch_size = 16;
+  LrSchedule lr{0.05, 0.5, 1200, 1e-4};
+
+  /// Threshold training (§5.1); false reproduces the "original method".
+  bool threshold_training = true;
+  ThresholdConfig threshold;
+
+  /// On-line detection (§4) + re-mapping (§5.2).
+  bool detection_enabled = false;
+  std::size_t detection_period = 500;
+  DetectorConfig detector;
+  bool remap_enabled = true;
+  RemapConfig remap;
+  /// Re-map only during the first K detection phases. On-line training
+  /// adapts the surviving weights *around* the current fault placement, so
+  /// a late re-map invalidates that adaptation even when it reduces static
+  /// collisions; early re-maps get the alignment benefit without the cost.
+  std::size_t remap_max_phases = 2;
+  PruneConfig prune;
+  /// Suppress training writes to cells the detector flagged faulty. Saves
+  /// endurance/energy, but detector false positives freeze healthy cells,
+  /// so this is off by default.
+  bool skip_writes_on_detected_faults = false;
+
+  /// Evaluation cadence (test-subset accuracy snapshots).
+  std::size_t eval_period = 100;
+  std::size_t eval_samples = 512;
+};
+
+/// One detection/re-mapping phase record.
+struct PhaseEvent {
+  std::size_t iteration = 0;
+  std::size_t cycles = 0;
+  std::uint64_t detection_writes = 0;
+  double precision = 1.0;
+  double recall = 1.0;
+  double remap_cost_before = 0.0;
+  double remap_cost_after = 0.0;
+};
+
+/// Full training trace + endurance statistics.
+struct TrainingResult {
+  std::vector<std::size_t> eval_iterations;
+  std::vector<double> eval_accuracy;
+  std::vector<double> fault_fraction;  ///< RCS fault ratio at eval points
+  double peak_accuracy = 0.0;
+  double final_accuracy = 0.0;
+
+  std::uint64_t device_writes = 0;       ///< total (training + detection)
+  std::uint64_t updates_written = 0;     ///< per-weight updates issued
+  std::uint64_t updates_suppressed = 0;  ///< zeroed by the threshold
+  std::uint64_t updates_zero = 0;        ///< δw exactly 0 (pruned / sparse)
+  std::size_t wearout_faults = 0;
+  double final_fault_fraction = 0.0;
+  std::vector<PhaseEvent> phases;
+
+  /// Fraction of weight updates that required no device write (threshold-
+  /// suppressed plus naturally zero) — the paper's "~90 % of δw below the
+  /// threshold" statistic.
+  [[nodiscard]] double suppression_ratio() const {
+    const auto total = updates_written + updates_suppressed + updates_zero;
+    if (total == 0) return 0.0;
+    return static_cast<double>(updates_suppressed + updates_zero) /
+           static_cast<double>(total);
+  }
+};
+
+/// State shared by every phase of one engine run. Wiring pointers are
+/// non-owning and rebound by begin()/load_checkpoint(); everything that
+/// defines the run's future behavior is serializable.
+struct EngineContext {
+  // ---- Wiring (not serialized; rebound on begin/resume) -----------------
+  Network* net = nullptr;
+  RcsSystem* rcs = nullptr;  ///< nullptr for an all-software network
+  const Dataset* data = nullptr;
+  const FtFlowConfig* cfg = nullptr;
+
+  // ---- Progress ---------------------------------------------------------
+  std::size_t iteration = 0;            ///< iteration being executed (1-based)
+  std::size_t phase_count = 0;          ///< detection phases run so far
+  std::size_t detection_iteration = 0;  ///< iteration of the latest detection
+
+  // ---- Shared FT state --------------------------------------------------
+  PruneState prune_state;
+  DetectedFaults detected;
+
+  // ---- RNG streams (split off the run seed by begin()) ------------------
+  Rng batch_rng{1};
+  Rng phase_rng{2};
+
+  // ---- Derived per-run state (rebuilt on begin/resume) ------------------
+  std::unique_ptr<Batcher> batcher;
+  Tensor eval_images;
+  std::vector<std::uint8_t> eval_labels;
+  std::uint64_t writes_at_start = 0;
+
+  // ---- Accumulating output ----------------------------------------------
+  TrainingResult result;
+
+  /// Evaluate on the held-out subset and append a trace row.
+  double evaluate(std::size_t iter);
+};
+
+/// One step of the flow. due() gates run() each iteration; save()/load()
+/// round-trip any phase-local state through engine checkpoints (the four
+/// standard phases keep all their state in the EngineContext, so the
+/// defaults are no-ops).
+class Phase {
+ public:
+  virtual ~Phase() = default;
+  [[nodiscard]] virtual const char* name() const = 0;
+  [[nodiscard]] virtual bool due(const EngineContext& ctx) const = 0;
+  virtual void run(EngineContext& ctx) = 0;
+  virtual void save(std::ostream& os) const { (void)os; }
+  virtual void load(std::istream& is) { (void)is; }
+};
+
+/// Tracing hook. Observers are non-owning, never serialized, and must not
+/// mutate the context (benches/tools attach CSV writers or progress
+/// meters here without touching the flow).
+class EngineObserver {
+ public:
+  virtual ~EngineObserver() = default;
+  virtual void on_run_begin(const EngineContext& ctx) { (void)ctx; }
+  virtual void on_phase_begin(const Phase& phase, const EngineContext& ctx) {
+    (void)phase;
+    (void)ctx;
+  }
+  virtual void on_phase_end(const Phase& phase, const EngineContext& ctx) {
+    (void)phase;
+    (void)ctx;
+  }
+  virtual void on_iteration_end(const EngineContext& ctx) { (void)ctx; }
+  virtual void on_run_end(const EngineContext& ctx) { (void)ctx; }
+};
+
+// ---- The paper's phases --------------------------------------------------
+
+/// Forward + backward + threshold-filtered SGD update (§5.1). Runs every
+/// iteration; when threshold_training is off, the threshold is forced to 0
+/// and updates go through apply_delta_full (the "original method").
+class TrainStepPhase final : public Phase {
+ public:
+  explicit TrainStepPhase(const FtFlowConfig& cfg);
+  [[nodiscard]] const char* name() const override { return "train-step"; }
+  [[nodiscard]] bool due(const EngineContext& ctx) const override;
+  void run(EngineContext& ctx) override;
+
+ private:
+  ThresholdTrainer updater_;
+};
+
+/// On-line quiescent-voltage detection over every store, pruning-mask
+/// refresh, targeted read-back, prune write-back (Fig. 2, right side).
+class DetectionPhase final : public Phase {
+ public:
+  [[nodiscard]] const char* name() const override { return "detection"; }
+  [[nodiscard]] bool due(const EngineContext& ctx) const override;
+  void run(EngineContext& ctx) override;
+};
+
+/// Neuron re-ordering (§5.2); runs right after a detection, during the
+/// first remap_max_phases detection phases only.
+class RemapPhase final : public Phase {
+ public:
+  [[nodiscard]] const char* name() const override { return "remap"; }
+  [[nodiscard]] bool due(const EngineContext& ctx) const override;
+  void run(EngineContext& ctx) override;
+};
+
+/// Periodic test-subset accuracy snapshot.
+class EvalPhase final : public Phase {
+ public:
+  [[nodiscard]] const char* name() const override { return "eval"; }
+  [[nodiscard]] bool due(const EngineContext& ctx) const override;
+  void run(EngineContext& ctx) override;
+};
+
+/// Orchestrates the flow of Fig. 2 as a phase pipeline.
+class FtEngine {
+ public:
+  /// Engine with the paper's standard phase list.
+  explicit FtEngine(FtFlowConfig cfg);
+  /// Engine with a custom phase list (related-work flows plug in here).
+  FtEngine(FtFlowConfig cfg, std::vector<std::unique_ptr<Phase>> phases);
+
+  /// The standard four-phase list (detection → remap → train → eval; the
+  /// per-iteration order of the monolithic flow this engine replaced).
+  [[nodiscard]] static std::vector<std::unique_ptr<Phase>> standard_phases(
+      const FtFlowConfig& cfg);
+
+  [[nodiscard]] const FtFlowConfig& config() const { return cfg_; }
+  [[nodiscard]] const EngineContext& context() const { return ctx_; }
+
+  /// Register a tracing observer (non-owning; must outlive the run).
+  void add_observer(EngineObserver* obs);
+
+  // ---- Stepwise interface ----------------------------------------------
+  /// Start a fresh run: bind the wiring, derive the RNG streams from
+  /// `rng`, record the iteration-0 evaluation.
+  void begin(Network& net, RcsSystem* rcs, const Dataset& data, Rng rng);
+  [[nodiscard]] bool done() const;
+  /// Execute one iteration (all due phases, in order).
+  void step();
+  /// Final evaluation + endurance totals; returns the completed result.
+  TrainingResult finish();
+
+  /// begin + step-to-completion + finish.
+  TrainingResult run(Network& net, RcsSystem* rcs, const Dataset& data,
+                     Rng rng);
+
+  // ---- Checkpoint / resume ---------------------------------------------
+  /// Serialize the full mid-run context (progress, RNG streams, batcher,
+  /// per-store device state, biases, prune/detected maps, trace so far).
+  /// Call between iterations (after step() returns).
+  void save_checkpoint(std::ostream& os) const;
+  /// Resume a run saved by save_checkpoint into freshly constructed
+  /// net/rcs/data (built the same way as the original run's); overwrites
+  /// their state in place. Continue with step()/finish().
+  void load_checkpoint(Network& net, RcsSystem* rcs, const Dataset& data,
+                       std::istream& is);
+
+ private:
+  void bind(Network& net, RcsSystem* rcs, const Dataset& data);
+
+  FtFlowConfig cfg_;
+  std::vector<std::unique_ptr<Phase>> phases_;
+  std::vector<EngineObserver*> observers_;
+  EngineContext ctx_;
+  bool begun_ = false;
+};
+
+}  // namespace refit

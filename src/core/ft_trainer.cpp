@@ -1,148 +1,40 @@
-// Fault-tolerant training flow — the paper's Fig. 3 loop (see ft_trainer.hpp).
+// FtTrainer compatibility facade (see ft_trainer.hpp).
 #include "core/ft_trainer.hpp"
 
 #include <algorithm>
 
-#include "common/log.hpp"
-#include "nn/loss.hpp"
-
 namespace refit {
-
-PhaseEvent FtTrainer::run_detection_phase(Network& net, RcsSystem& rcs,
-                                          std::size_t iteration, Rng& rng) {
-  PhaseEvent ev;
-  ev.iteration = iteration;
-  ++phase_count_;
-
-  // "On-line detection": per-store quiescent-voltage testing → F of §5.2.
-  const QuiescentVoltageDetector detector(cfg_.detector);
-  ConfusionCounts confusion;
-  for (CrossbarWeightStore* store : rcs.stores()) {
-    DetectionOutcome outcome = detector.detect_store(*store);
-    confusion += evaluate_detection(*store, outcome.predicted);
-    detected_[store] = std::move(outcome.predicted);
-    ev.cycles += outcome.cycles;
-    ev.detection_writes += outcome.device_writes;
-  }
-  ev.precision = confusion.precision();
-  ev.recall = confusion.recall();
-
-  // "Generate pruning": compute the masks from the off-chip target weights
-  // *before* any read-back, so the mask reflects functional importance (the
-  // paper's P comes from software training and is fault-agnostic); the
-  // re-mapping below is what aligns P with the fault distribution F.
-  if (cfg_.prune.enabled) {
-    if (cfg_.prune.structured) {
-      // A structured mask is kept stable once chosen: re-ranking neurons
-      // every phase would flip membership and repeatedly zero/revive whole
-      // units, which costs far more accuracy than a slightly stale ranking.
-      if (prune_state_.empty()) {
-        prune_state_ = compute_structured_pruning(net,
-                                                  cfg_.prune.neuron_sparsity);
-      }
-    } else {
-      prune_state_ = PruneState::compute(net, cfg_.prune);
-    }
-  }
-
-  // Read the fault-hosted weights back off-chip (Fig. 3's read/store step,
-  // applied where it matters): their targets collapse to what the device
-  // actually computes, so re-mapping relocates the functioning network
-  // instead of stale off-chip values. Healthy cells keep their full-
-  // precision off-chip accumulation.
-  for (CrossbarWeightStore* store : rcs.stores()) {
-    store->sync_targets_where(detected_[store]);
-  }
-
-  // Write the pruned zeros (the pruned network P of §5.2).
-  if (cfg_.prune.enabled) {
-    prune_state_.apply_to(net);
-  }
-
-  // "Re-mapping": align the pruned zeros with the detected SA0 cells.
-  if (cfg_.remap_enabled && phase_count_ <= cfg_.remap_max_phases) {
-    const RemapReport rr =
-        remap_network(net, detected_, prune_state_, cfg_.remap, rng);
-    ev.remap_cost_before = rr.cost_before;
-    ev.remap_cost_after = rr.cost_after;
-  }
-  return ev;
-}
 
 TrainingResult FtTrainer::train(Network& net, RcsSystem* rcs,
                                 const Dataset& data, Rng rng) {
-  REFIT_CHECK(cfg_.iterations > 0 && cfg_.batch_size > 0);
-  // A trainer may be reused across runs; per-run state starts fresh.
-  phase_count_ = 0;
-  detected_.clear();
-  prune_state_ = PruneState{};
-  TrainingResult result;
-  Rng batch_rng = rng.split(1);
-  Rng phase_rng = rng.split(2);
-  Batcher batcher(data, cfg_.batch_size, batch_rng);
+  FtEngine engine(cfg_);
+  return engine.run(net, rcs, data, rng);
+}
 
-  ThresholdConfig thr = cfg_.threshold;
-  if (!cfg_.threshold_training) thr.threshold_ratio = 0.0;
-  const ThresholdTrainer updater(thr, cfg_.lr);
-
-  const std::size_t eval_n = std::min(cfg_.eval_samples, data.test_size());
-  Tensor eval_images = slice_batch(data.test_images, 0, eval_n);
-  std::vector<std::uint8_t> eval_labels(data.test_labels.begin(),
-                                        data.test_labels.begin() +
-                                            static_cast<std::ptrdiff_t>(eval_n));
-
-  const std::uint64_t writes_at_start =
-      rcs != nullptr ? rcs->total_device_writes() : 0;
-
-  auto evaluate = [&](std::size_t iter) {
-    const double acc = net.evaluate(eval_images, eval_labels);
-    result.eval_iterations.push_back(iter);
-    result.eval_accuracy.push_back(acc);
-    result.fault_fraction.push_back(rcs != nullptr ? rcs->fault_fraction()
-                                                   : 0.0);
-    result.peak_accuracy = std::max(result.peak_accuracy, acc);
-    return acc;
-  };
-
-  evaluate(0);
-  for (std::size_t iter = 1; iter <= cfg_.iterations; ++iter) {
-    if (cfg_.detection_enabled && rcs != nullptr &&
-        cfg_.detection_period > 0 && iter % cfg_.detection_period == 0) {
-      result.phases.push_back(run_detection_phase(net, *rcs, iter, phase_rng));
-      const auto& ev = result.phases.back();
-      REFIT_DEBUG("detection @" << iter << ": precision=" << ev.precision
-                                << " recall=" << ev.recall << " remap "
-                                << ev.remap_cost_before << "→"
-                                << ev.remap_cost_after);
-    }
-
-    const Batch batch = batcher.next();
-    Tensor logits = net.forward(batch.images, /*train=*/true);
-    LossResult loss = softmax_cross_entropy(logits, batch.labels);
-    net.backward(loss.grad_logits);
-    auto params = net.params();
-    const ThresholdStepStats st = updater.step(
-        params, iter, cfg_.prune.enabled ? &prune_state_ : nullptr,
-        (cfg_.skip_writes_on_detected_faults && !detected_.empty())
-            ? &detected_
-            : nullptr);
-    result.updates_written += st.writes_issued;
-    result.updates_suppressed += st.writes_suppressed;
-    result.updates_zero += st.updates_zero;
-    net.zero_grad();
-
-    if (cfg_.eval_period > 0 && iter % cfg_.eval_period == 0) {
-      const double acc = evaluate(iter);
-      REFIT_DEBUG("iter " << iter << " acc=" << acc);
-    }
+FtFlowConfig FtTrainer::baseline_config(FtBaseline baseline,
+                                        FtFlowConfig base) {
+  switch (baseline) {
+    case FtBaseline::kIdeal:
+    case FtBaseline::kOriginal:
+      base.threshold_training = false;
+      base.detection_enabled = false;
+      break;
+    case FtBaseline::kThreshold:
+      base.threshold_training = true;
+      base.detection_enabled = false;
+      break;
+    case FtBaseline::kFullFlow:
+      base.threshold_training = true;
+      base.detection_enabled = true;
+      base.detection_period = std::max<std::size_t>(1, base.iterations / 6);
+      base.prune.enabled = true;
+      base.prune.fc_sparsity = 0.3;
+      base.prune.conv_sparsity = 0.0;
+      base.remap_enabled = true;
+      base.remap.algorithm = RemapAlgorithm::kHungarian;
+      break;
   }
-  result.final_accuracy = evaluate(cfg_.iterations);
-  if (rcs != nullptr) {
-    result.device_writes = rcs->total_device_writes() - writes_at_start;
-    result.wearout_faults = rcs->wearout_fault_count();
-    result.final_fault_fraction = rcs->fault_fraction();
-  }
-  return result;
+  return base;
 }
 
 }  // namespace refit

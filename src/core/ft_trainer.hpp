@@ -1,104 +1,22 @@
-// The complete fault-tolerant on-line training flow (paper Fig. 2).
+// FtTrainer — thin compatibility facade over FtEngine (core/engine.hpp).
 //
-// Every iteration: forward propagation on the RCS, back-propagation, then a
-// threshold-training update (writes below the threshold are suppressed).
-// Every `detection_period` iterations the flow runs the on-line
-// quiescent-voltage detection over every crossbar store, refreshes the
-// pruning masks, and re-maps neurons so pruned weights land on SA0 cells.
-//
-// All four experimental configurations of the paper are instances of this
-// class:
+// The flow itself lives in the engine's phase pipeline; this header keeps
+// the original train() entry point and assembles the paper's four
+// experimental baselines as FtFlowConfig presets:
 //   original method ......... threshold/detection/remap all disabled
 //   threshold training ...... threshold enabled
-//   entire FT flow .......... everything enabled
+//   entire FT flow .......... threshold + detection + pruning + re-mapping
 //   ideal (no faults) ....... any config with a software-backed network
 #pragma once
 
-#include <cstdint>
-#include <vector>
-
-#include "core/prune.hpp"
-#include "core/remap.hpp"
-#include "core/threshold_trainer.hpp"
-#include "data/dataset.hpp"
-#include "detect/quiescent_detector.hpp"
-#include "nn/network.hpp"
-#include "nn/optimizer.hpp"
-#include "rcs/rcs_system.hpp"
+#include "core/engine.hpp"
 
 namespace refit {
 
-/// Configuration of the full flow.
-struct FtFlowConfig {
-  std::size_t iterations = 3000;
-  std::size_t batch_size = 16;
-  LrSchedule lr{0.05, 0.5, 1200, 1e-4};
+/// The paper's experimental configurations (§6, Fig. 7 curves).
+enum class FtBaseline { kIdeal, kOriginal, kThreshold, kFullFlow };
 
-  /// Threshold training (§5.1); false reproduces the "original method".
-  bool threshold_training = true;
-  ThresholdConfig threshold;
-
-  /// On-line detection (§4) + re-mapping (§5.2).
-  bool detection_enabled = false;
-  std::size_t detection_period = 500;
-  DetectorConfig detector;
-  bool remap_enabled = true;
-  RemapConfig remap;
-  /// Re-map only during the first K detection phases. On-line training
-  /// adapts the surviving weights *around* the current fault placement, so
-  /// a late re-map invalidates that adaptation even when it reduces static
-  /// collisions; early re-maps get the alignment benefit without the cost.
-  std::size_t remap_max_phases = 2;
-  PruneConfig prune;
-  /// Suppress training writes to cells the detector flagged faulty. Saves
-  /// endurance/energy, but detector false positives freeze healthy cells,
-  /// so this is off by default.
-  bool skip_writes_on_detected_faults = false;
-
-  /// Evaluation cadence (test-subset accuracy snapshots).
-  std::size_t eval_period = 100;
-  std::size_t eval_samples = 512;
-};
-
-/// One detection/re-mapping phase record.
-struct PhaseEvent {
-  std::size_t iteration = 0;
-  std::size_t cycles = 0;
-  std::uint64_t detection_writes = 0;
-  double precision = 1.0;
-  double recall = 1.0;
-  double remap_cost_before = 0.0;
-  double remap_cost_after = 0.0;
-};
-
-/// Full training trace + endurance statistics.
-struct TrainingResult {
-  std::vector<std::size_t> eval_iterations;
-  std::vector<double> eval_accuracy;
-  std::vector<double> fault_fraction;  ///< RCS fault ratio at eval points
-  double peak_accuracy = 0.0;
-  double final_accuracy = 0.0;
-
-  std::uint64_t device_writes = 0;       ///< total (training + detection)
-  std::uint64_t updates_written = 0;     ///< per-weight updates issued
-  std::uint64_t updates_suppressed = 0;  ///< zeroed by the threshold
-  std::uint64_t updates_zero = 0;        ///< δw exactly 0 (pruned / sparse)
-  std::size_t wearout_faults = 0;
-  double final_fault_fraction = 0.0;
-  std::vector<PhaseEvent> phases;
-
-  /// Fraction of weight updates that required no device write (threshold-
-  /// suppressed plus naturally zero) — the paper's "~90 % of δw below the
-  /// threshold" statistic.
-  [[nodiscard]] double suppression_ratio() const {
-    const auto total = updates_written + updates_suppressed + updates_zero;
-    if (total == 0) return 0.0;
-    return static_cast<double>(updates_suppressed + updates_zero) /
-           static_cast<double>(total);
-  }
-};
-
-/// Orchestrates the flow of Fig. 2.
+/// Orchestrates the flow of Fig. 2 (facade over FtEngine).
 class FtTrainer {
  public:
   explicit FtTrainer(FtFlowConfig cfg) : cfg_(cfg) {}
@@ -111,15 +29,16 @@ class FtTrainer {
   TrainingResult train(Network& net, RcsSystem* rcs, const Dataset& data,
                        Rng rng);
 
- private:
-  /// Detection + pruning + re-mapping (the right-hand side of Fig. 2).
-  PhaseEvent run_detection_phase(Network& net, RcsSystem& rcs,
-                                 std::size_t iteration, Rng& rng);
+  /// Derive one of the paper's four baseline configurations from a base
+  /// flow config (iterations / lr / eval cadence are taken from `base`).
+  /// The full flow enables detection every iterations/6 steps, magnitude
+  /// pruning on FC layers only (30 %), and exact Hungarian re-mapping —
+  /// the settings of the Fig. 7 reproduction benches.
+  [[nodiscard]] static FtFlowConfig baseline_config(FtBaseline baseline,
+                                                    FtFlowConfig base);
 
+ private:
   FtFlowConfig cfg_;
-  PruneState prune_state_;
-  DetectedFaults detected_;
-  std::size_t phase_count_ = 0;
 };
 
 }  // namespace refit

@@ -37,14 +37,14 @@ std::vector<std::size_t> identity_perm(std::size_t n) {
 std::vector<std::size_t> current_assignment(const RemapInterface& iface) {
   if (const auto* xp = dynamic_cast<const CrossbarWeightStore*>(
           &iface.producer->weights())) {
-    return xp->col_perm();
+    return xp->mapping().col_perm();
   }
   if (const auto* xc = dynamic_cast<const CrossbarWeightStore*>(
           &iface.consumer->weights())) {
     const std::size_t b = iface.consumer->rows_per_in_neuron();
     std::vector<std::size_t> perm(iface.neurons);
     for (std::size_t j = 0; j < iface.neurons; ++j) {
-      perm[j] = xc->row_perm()[j * b] / b;
+      perm[j] = xc->mapping().row_perm()[j * b] / b;
     }
     return perm;
   }
@@ -94,7 +94,7 @@ InterfaceCost build_interface_cost(const RemapInterface& iface,
     if (fm != nullptr) {
       const PruneMask* mask = prune.mask_for(&iface.producer->weights());
       const std::size_t rows = xp->rows();
-      const auto& row_perm = xp->row_perm();
+      const auto& row_perm = xp->mapping().row_perm();
       for (std::size_t p = 0; p < m; ++p) {
         // Collect the faulty physical rows of column p once.
         std::vector<std::pair<std::size_t, FaultKind>> faulty_rows;
@@ -125,7 +125,7 @@ InterfaceCost build_interface_cost(const RemapInterface& iface,
       const PruneMask* mask = prune.mask_for(&iface.consumer->weights());
       const std::size_t b = iface.consumer->rows_per_in_neuron();
       const std::size_t cols = xc->cols();
-      const auto& col_perm = xc->col_perm();
+      const auto& col_perm = xc->mapping().col_perm();
       for (std::size_t p = 0; p < m; ++p) {
         std::vector<std::pair<std::size_t, FaultKind>> faulty;  // (flat b*cols+c)
         for (std::size_t bb = 0; bb < b; ++bb) {
@@ -390,7 +390,7 @@ RemapReport remap_network(Network& net, const DetectedFaults& detected,
 
     if (auto* xp = dynamic_cast<CrossbarWeightStore*>(
             &iface.producer->weights())) {
-      xp->set_permutations(xp->row_perm(), perm);
+      xp->set_permutations(xp->mapping().row_perm(), perm);
     }
     if (auto* xc = dynamic_cast<CrossbarWeightStore*>(
             &iface.consumer->weights())) {
@@ -399,7 +399,7 @@ RemapReport remap_network(Network& net, const DetectedFaults& detected,
       for (std::size_t j = 0; j < iface.neurons; ++j)
         for (std::size_t bb = 0; bb < b; ++bb)
           row_perm[j * b + bb] = perm[j] * b + bb;
-      xc->set_permutations(row_perm, xc->col_perm());
+      xc->set_permutations(row_perm, xc->mapping().col_perm());
     }
   }
   return report;

@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "common/rng.hpp"
+#include "common/serialize.hpp"
 
 namespace refit {
 
@@ -36,6 +37,22 @@ Batch Batcher::next() {
 void Batcher::reshuffle() {
   rng_.shuffle(order_);
   cursor_ = 0;
+}
+
+void Batcher::save(std::ostream& os) const {
+  std::vector<std::uint64_t> order(order_.begin(), order_.end());
+  ser::write_vec(os, order);
+  ser::write_pod<std::uint64_t>(os, cursor_);
+  ser::write_pod<std::uint64_t>(os, epochs_);
+}
+
+void Batcher::load(std::istream& is) {
+  const auto order = ser::read_vec<std::uint64_t>(is);
+  REFIT_CHECK_MSG(order.size() == data_.train_size(),
+                  "batcher checkpoint does not match the dataset");
+  order_.assign(order.begin(), order.end());
+  cursor_ = static_cast<std::size_t>(ser::read_pod<std::uint64_t>(is));
+  epochs_ = static_cast<std::size_t>(ser::read_pod<std::uint64_t>(is));
 }
 
 Tensor gather_rows(const Tensor& data, const std::vector<std::size_t>& rows) {

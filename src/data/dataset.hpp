@@ -2,6 +2,7 @@
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
 #include <vector>
 
 #include "tensor/tensor.hpp"
@@ -42,6 +43,13 @@ class Batcher {
 
   [[nodiscard]] std::size_t batch_size() const { return batch_size_; }
   [[nodiscard]] std::size_t epochs_completed() const { return epochs_; }
+
+  /// Checkpointing of the iteration state (shuffled order, cursor, epoch
+  /// count). The RNG reference is NOT serialized — the owner checkpoints
+  /// its Rng separately and must restore it to the saved state so that
+  /// future reshuffles draw the same stream.
+  void save(std::ostream& os) const;
+  void load(std::istream& is);
 
  private:
   void reshuffle();

@@ -4,7 +4,6 @@
 #include <cmath>
 #include <vector>
 
-#include "common/thread_pool.hpp"
 #include "detect/decoder.hpp"
 
 namespace refit {
@@ -201,27 +200,20 @@ DetectionOutcome QuiescentVoltageDetector::detect_store(
   out.predicted = FaultMatrix(store.rows(), store.cols());
   // Tiles are embarrassingly parallel: each owns its RNG, its pulses stay
   // inside the tile, and its predictions land in a disjoint physical block
-  // of the store-level map. Per-tile outcomes are kept in slots and merged
-  // in tile order below, so totals are deterministic at any thread count.
-  const std::size_t ntiles =
-      store.tile_grid_rows() * store.tile_grid_cols();
-  std::vector<DetectionOutcome> tile_out(ntiles);
-  parallel_for(ntiles, [&](std::size_t t0, std::size_t t1) {
-    for (std::size_t t = t0; t < t1; ++t) {
-      const std::size_t ti = t / store.tile_grid_cols();
-      const std::size_t tj = t % store.tile_grid_cols();
-      tile_out[t] = detect(store.tile(ti, tj));
-    }
+  // of the store-level map. The grid's for_each_tile fans the per-tile
+  // detections across the pool; outcomes are kept in slots and merged in
+  // tile order below, so totals are deterministic at any thread count.
+  const TileGrid& grid = store.grid();
+  std::vector<DetectionOutcome> tile_out(grid.tile_count());
+  grid.for_each_tile([&](const TileSpan& span) {
+    tile_out[span.index] = detect(store.tile(span.ti, span.tj));
   });
-  for (std::size_t t = 0; t < ntiles; ++t) {
-    const std::size_t ti = t / store.tile_grid_cols();
-    const std::size_t tj = t % store.tile_grid_cols();
-    const Crossbar& xb = store.tile(ti, tj);
-    const std::size_t r0 = ti * store.config().tile_rows;
-    const std::size_t c0 = tj * store.config().tile_cols;
-    for (std::size_t r = 0; r < xb.rows(); ++r) {
-      for (std::size_t c = 0; c < xb.cols(); ++c) {
-        out.predicted.set(r0 + r, c0 + c, tile_out[t].predicted.at(r, c));
+  for (std::size_t t = 0; t < grid.tile_count(); ++t) {
+    const TileSpan span = grid.span(t);
+    for (std::size_t r = 0; r < span.rows; ++r) {
+      for (std::size_t c = 0; c < span.cols; ++c) {
+        out.predicted.set(span.row0 + r, span.col0 + c,
+                          tile_out[t].predicted.at(r, c));
       }
     }
     out.cycles += tile_out[t].cycles;

@@ -3,6 +3,8 @@
 
 #include <utility>
 
+#include "common/serialize.hpp"
+
 namespace refit {
 
 SoftwareWeightStore::SoftwareWeightStore(Tensor init) : w_(std::move(init)) {}
@@ -17,6 +19,27 @@ void SoftwareWeightStore::assign(const Tensor& w) {
   REFIT_CHECK_MSG(w.shape() == w_.shape(),
                   "assign shape mismatch in SoftwareWeightStore");
   w_ = w;
+}
+
+namespace {
+constexpr std::uint64_t kSoftStoreTag = 0x5245464954535753ULL;  // "REFITSWS"
+}  // namespace
+
+void SoftwareWeightStore::save_state(std::ostream& os) const {
+  ser::write_tag(os, kSoftStoreTag);
+  std::vector<std::uint64_t> shape(w_.shape().begin(), w_.shape().end());
+  ser::write_vec(os, shape);
+  ser::write_vec(os, w_.vec());
+}
+
+void SoftwareWeightStore::restore_state(std::istream& is) {
+  ser::expect_tag(is, kSoftStoreTag);
+  const auto shape64 = ser::read_vec<std::uint64_t>(is);
+  Shape shape(shape64.begin(), shape64.end());
+  REFIT_CHECK_MSG(shape == w_.shape(),
+                  "restore_state() checkpoint shape mismatch");
+  auto data = ser::read_vec<float>(is);
+  w_ = Tensor(shape, std::move(data));
 }
 
 StoreFactory software_store_factory() {

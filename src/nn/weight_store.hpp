@@ -12,6 +12,7 @@
 #pragma once
 
 #include <functional>
+#include <iosfwd>
 #include <memory>
 #include <string>
 
@@ -48,6 +49,15 @@ class WeightStore {
 
   /// Total device write operations issued so far (0 for software).
   [[nodiscard]] virtual std::uint64_t write_count() const { return 0; }
+
+  /// Serialize the store's complete state: the target tensor for the
+  /// software backend, the full device state (tiles, permutations,
+  /// endurance, RNG) for a hardware backend. restore_state() into a
+  /// same-shaped store must reproduce the exact compute behavior — this
+  /// is the seam the engine checkpoints through without knowing which
+  /// backend a layer uses.
+  virtual void save_state(std::ostream& os) const = 0;
+  virtual void restore_state(std::istream& is) = 0;
 };
 
 /// Pure-software backend: effective() == target(), no endurance, no faults.
@@ -60,6 +70,8 @@ class SoftwareWeightStore final : public WeightStore {
   [[nodiscard]] const Tensor& target() const override { return w_; }
   void apply_delta(const Tensor& delta) override;
   void assign(const Tensor& w) override;
+  void save_state(std::ostream& os) const override;
+  void restore_state(std::istream& is) override;
 
  private:
   Tensor w_;

@@ -9,7 +9,6 @@
 #include <utility>
 
 #include "common/serialize.hpp"
-#include "common/thread_pool.hpp"
 
 namespace refit {
 
@@ -34,20 +33,18 @@ CrossbarWeightStore::CrossbarWeightStore(const RcsConfig& cfg, Tensor init,
   const std::size_t r = rows(), c = cols();
   weight_max_ = std::max(1e-6, cfg_.weight_clip_multiplier * rms(target_));
 
-  grid_rows_ = (r + cfg_.tile_rows - 1) / cfg_.tile_rows;
-  grid_cols_ = (c + cfg_.tile_cols - 1) / cfg_.tile_cols;
-  tiles_.reserve(grid_rows_ * grid_cols_);
-  for (std::size_t ti = 0; ti < grid_rows_; ++ti) {
-    for (std::size_t tj = 0; tj < grid_cols_; ++tj) {
-      CrossbarConfig xc;
-      xc.rows = std::min(cfg_.tile_rows, r - ti * cfg_.tile_rows);
-      xc.cols = std::min(cfg_.tile_cols, c - tj * cfg_.tile_cols);
-      xc.levels = cfg_.levels;
-      xc.write_noise_sigma = cfg_.write_noise_sigma;
-      xc.wire_resistance_ratio = cfg_.wire_resistance_ratio;
-      tiles_.push_back(std::make_unique<Crossbar>(
-          xc, cfg_.endurance, rng.split(ti * grid_cols_ + tj + 1)));
-    }
+  grid_ = TileGrid(r, c, cfg_.tile_rows, cfg_.tile_cols);
+  tiles_.reserve(grid_.tile_count());
+  for (std::size_t t = 0; t < grid_.tile_count(); ++t) {
+    const TileSpan span = grid_.span(t);
+    CrossbarConfig xc;
+    xc.rows = span.rows;
+    xc.cols = span.cols;
+    xc.levels = cfg_.levels;
+    xc.write_noise_sigma = cfg_.write_noise_sigma;
+    xc.wire_resistance_ratio = cfg_.wire_resistance_ratio;
+    tiles_.push_back(
+        std::make_unique<Crossbar>(xc, cfg_.endurance, rng.split(t + 1)));
   }
 
   if (cfg_.inject_fabrication && cfg_.fabrication.fraction > 0.0) {
@@ -60,12 +57,7 @@ CrossbarWeightStore::CrossbarWeightStore(const RcsConfig& cfg, Tensor init,
     }
   }
 
-  row_perm_.resize(r);
-  col_perm_.resize(c);
-  std::iota(row_perm_.begin(), row_perm_.end(), 0);
-  std::iota(col_perm_.begin(), col_perm_.end(), 0);
-  inv_row_perm_ = row_perm_;
-  inv_col_perm_ = col_perm_;
+  map_ = LogicalMapping(r, c);
   tile_dirty_.assign(tiles_.size(), 1);
 
   // Program the initial weights onto the chip, one pool lane per tile.
@@ -79,44 +71,34 @@ CrossbarWeightStore::CrossbarWeightStore(const RcsConfig& cfg, Tensor init,
                                     static_cast<float>(weight_max_));
     }
   }
-  parallel_for(tiles_.size(), [&](std::size_t t0, std::size_t t1) {
-    for (std::size_t t = t0; t < t1; ++t) {
-      Crossbar& xb = *tiles_[t];
-      const std::size_t r0 = (t / grid_cols_) * cfg_.tile_rows;
-      const std::size_t c0 = (t % grid_cols_) * cfg_.tile_cols;
-      for (std::size_t lr = 0; lr < xb.rows(); ++lr) {
-        for (std::size_t lc = 0; lc < xb.cols(); ++lc) {
-          xb.write(lr, lc,
-                   std::fabs(target_.at(r0 + lr, c0 + lc)) / weight_max_);
-        }
+  grid_.for_each_tile([&](const TileSpan& span) {
+    Crossbar& xb = *tiles_[span.index];
+    for (std::size_t lr = 0; lr < span.rows; ++lr) {
+      for (std::size_t lc = 0; lc < span.cols; ++lc) {
+        xb.write(lr, lc,
+                 std::fabs(target_.at(span.row0 + lr, span.col0 + lc)) /
+                     weight_max_);
       }
     }
   });
   resync_counters();
 }
 
-CrossbarWeightStore::TileCoord CrossbarWeightStore::locate(
-    std::size_t phys_r, std::size_t phys_c) const {
-  REFIT_DCHECK(phys_r < rows() && phys_c < cols());
-  return TileCoord{phys_r / cfg_.tile_rows, phys_c / cfg_.tile_cols,
-                   phys_r % cfg_.tile_rows, phys_c % cfg_.tile_cols};
-}
-
 Crossbar& CrossbarWeightStore::tile(std::size_t ti, std::size_t tj) {
-  REFIT_CHECK(ti < grid_rows_ && tj < grid_cols_);
-  return *tiles_[ti * grid_cols_ + tj];
+  REFIT_CHECK(ti < grid_.grid_rows() && tj < grid_.grid_cols());
+  return *tiles_[grid_.index_of(ti, tj)];
 }
 
 const Crossbar& CrossbarWeightStore::tile(std::size_t ti,
                                           std::size_t tj) const {
-  REFIT_CHECK(ti < grid_rows_ && tj < grid_cols_);
-  return *tiles_[ti * grid_cols_ + tj];
+  REFIT_CHECK(ti < grid_.grid_rows() && tj < grid_.grid_cols());
+  return *tiles_[grid_.index_of(ti, tj)];
 }
 
 void CrossbarWeightStore::write_logical(std::size_t i, std::size_t j) {
-  const auto tc = locate(row_perm_[i], col_perm_[j]);
-  const std::size_t t = tc.ti * grid_cols_ + tc.tj;
-  Crossbar& xb = *tiles_[t];
+  const TileGrid::Coord tc =
+      grid_.locate(map_.physical_row(i), map_.physical_col(j));
+  Crossbar& xb = *tiles_[tc.tile];
   // Diff the tile's running totals around the write so the store-level
   // aggregates stay exact whether the write lands, is suppressed (stuck
   // cell), or wears the cell out.
@@ -127,7 +109,7 @@ void CrossbarWeightStore::write_logical(std::size_t i, std::size_t j) {
   writes_agg_ += xb.total_writes() - w0;
   faults_agg_ += xb.fault_count() - f0;
   wearout_agg_ += xb.wearout_fault_count() - wo0;
-  tile_dirty_[t] = 1;
+  tile_dirty_[tc.tile] = 1;
   any_dirty_ = true;
 }
 
@@ -152,14 +134,12 @@ void CrossbarWeightStore::resync_counters() {
   }
 }
 
-void CrossbarWeightStore::rebuild_tile(std::size_t t) {
-  const Crossbar& xb = *tiles_[t];
-  const std::size_t r0 = (t / grid_cols_) * cfg_.tile_rows;
-  const std::size_t c0 = (t % grid_cols_) * cfg_.tile_cols;
-  for (std::size_t lr = 0; lr < xb.rows(); ++lr) {
-    const std::size_t i = inv_row_perm_[r0 + lr];
-    for (std::size_t lc = 0; lc < xb.cols(); ++lc) {
-      const std::size_t j = inv_col_perm_[c0 + lc];
+void CrossbarWeightStore::rebuild_tile(const TileSpan& span) {
+  const Crossbar& xb = *tiles_[span.index];
+  for (std::size_t lr = 0; lr < span.rows; ++lr) {
+    const std::size_t i = map_.logical_row(span.row0 + lr);
+    for (std::size_t lc = 0; lc < span.cols; ++lc) {
+      const std::size_t j = map_.logical_col(span.col0 + lc);
       // The compute path is analog: the cell's contribution includes its
       // IR-drop attenuation (identity when the model is disabled).
       const double g = xb.effective_conductance(lr, lc);
@@ -184,11 +164,9 @@ void CrossbarWeightStore::rebuild_effective() {
   for (std::size_t t = 0; t < tiles_.size(); ++t) {
     if (tile_dirty_[t] != 0) dirty.push_back(t);
   }
-  parallel_for(dirty.size(), [&](std::size_t d0, std::size_t d1) {
-    for (std::size_t d = d0; d < d1; ++d) {
-      rebuild_tile(dirty[d]);
-      tile_dirty_[dirty[d]] = 0;
-    }
+  grid_.for_each_tile(dirty, [&](const TileSpan& span) {
+    rebuild_tile(span);
+    tile_dirty_[span.index] = 0;
   });
   any_dirty_ = false;
 }
@@ -243,14 +221,14 @@ void CrossbarWeightStore::assign(const Tensor& w) {
 }
 
 double CrossbarWeightStore::expected_g(std::size_t r, std::size_t c) const {
-  const std::size_t i = inv_row_perm_[r];
-  const std::size_t j = inv_col_perm_[c];
+  const std::size_t i = map_.logical_row(r);
+  const std::size_t j = map_.logical_col(c);
   return std::fabs(target_.at(i, j)) / weight_max_;
 }
 
 FaultKind CrossbarWeightStore::true_fault(std::size_t r, std::size_t c) const {
-  const auto tc = locate(r, c);
-  return tiles_[tc.ti * grid_cols_ + tc.tj]->fault(tc.lr, tc.lc);
+  const TileGrid::Coord tc = grid_.locate(r, c);
+  return tiles_[tc.tile]->fault(tc.lr, tc.lc);
 }
 
 FaultMatrix CrossbarWeightStore::true_fault_matrix() const {
@@ -261,15 +239,14 @@ FaultMatrix CrossbarWeightStore::true_fault_matrix() const {
 }
 
 double CrossbarWeightStore::actual_g(std::size_t r, std::size_t c) const {
-  const auto tc = locate(r, c);
-  return tiles_[tc.ti * grid_cols_ + tc.tj]->conductance(tc.lr, tc.lc);
+  const TileGrid::Coord tc = grid_.locate(r, c);
+  return tiles_[tc.tile]->conductance(tc.lr, tc.lc);
 }
 
 void CrossbarWeightStore::pulse_physical(std::size_t r, std::size_t c,
                                          double delta_g) {
-  const auto tc = locate(r, c);
-  const std::size_t t = tc.ti * grid_cols_ + tc.tj;
-  Crossbar& xb = *tiles_[t];
+  const TileGrid::Coord tc = grid_.locate(r, c);
+  Crossbar& xb = *tiles_[tc.tile];
   const std::uint64_t w0 = xb.total_writes();
   const std::size_t f0 = xb.fault_count();
   const std::size_t wo0 = xb.wearout_fault_count();
@@ -277,7 +254,7 @@ void CrossbarWeightStore::pulse_physical(std::size_t r, std::size_t c,
   writes_agg_ += xb.total_writes() - w0;
   faults_agg_ += xb.fault_count() - f0;
   wearout_agg_ += xb.wearout_fault_count() - wo0;
-  tile_dirty_[t] = 1;
+  tile_dirty_[tc.tile] = 1;
   any_dirty_ = true;
 }
 
@@ -293,7 +270,7 @@ void CrossbarWeightStore::sync_targets_where(
   if (any_dirty_) rebuild_effective();
   for (std::size_t i = 0; i < rows(); ++i) {
     for (std::size_t j = 0; j < cols(); ++j) {
-      if (physical_faults.faulty(row_perm_[i], col_perm_[j])) {
+      if (physical_faults.faulty(map_.physical_row(i), map_.physical_col(j))) {
         target_.at(i, j) = effective_.at(i, j);
       }
     }
@@ -303,25 +280,9 @@ void CrossbarWeightStore::sync_targets_where(
 void CrossbarWeightStore::set_permutations(std::vector<std::size_t> row_perm,
                                            std::vector<std::size_t> col_perm) {
   const std::size_t r = rows(), c = cols();
-  REFIT_CHECK_MSG(row_perm.size() == r && col_perm.size() == c,
-                  "permutation size mismatch");
-  // Validate bijectivity.
-  std::vector<bool> seen_r(r, false), seen_c(c, false);
-  for (std::size_t v : row_perm) {
-    REFIT_CHECK_MSG(v < r && !seen_r[v], "row_perm is not a permutation");
-    seen_r[v] = true;
-  }
-  for (std::size_t v : col_perm) {
-    REFIT_CHECK_MSG(v < c && !seen_c[v], "col_perm is not a permutation");
-    seen_c[v] = true;
-  }
-
-  const std::vector<std::size_t> old_rows = row_perm_;
-  const std::vector<std::size_t> old_cols = col_perm_;
-  row_perm_ = std::move(row_perm);
-  col_perm_ = std::move(col_perm);
-  for (std::size_t i = 0; i < r; ++i) inv_row_perm_[row_perm_[i]] = i;
-  for (std::size_t j = 0; j < c; ++j) inv_col_perm_[col_perm_[j]] = j;
+  const std::vector<std::size_t> old_rows = map_.row_perm();
+  const std::vector<std::size_t> old_cols = map_.col_perm();
+  map_.set(std::move(row_perm), std::move(col_perm));
 
   // Rewrite every cell whose logical owner moved. (Unmoved cells keep their
   // programmed conductance — no endurance is spent on them.) Bijectivity
@@ -329,9 +290,11 @@ void CrossbarWeightStore::set_permutations(std::vector<std::size_t> row_perm,
   // per-tile dirty marks from write_logical cover exactly the tiles whose
   // effective entries can have changed — no blanket invalidation needed.
   for (std::size_t i = 0; i < r; ++i) {
-    const bool row_moved = old_rows[i] != row_perm_[i];
+    const bool row_moved = old_rows[i] != map_.physical_row(i);
     for (std::size_t j = 0; j < c; ++j) {
-      if (row_moved || old_cols[j] != col_perm_[j]) write_logical(i, j);
+      if (row_moved || old_cols[j] != map_.physical_col(j)) {
+        write_logical(i, j);
+      }
     }
   }
 }
@@ -358,55 +321,57 @@ void CrossbarWeightStore::save(std::ostream& os) const {
   ser::write_pod(os, cfg_);
   write_tensor(os, target_);
   ser::write_pod(os, weight_max_);
-  ser::write_pod<std::uint64_t>(os, grid_rows_);
-  ser::write_pod<std::uint64_t>(os, grid_cols_);
-  std::vector<std::uint64_t> rp(row_perm_.begin(), row_perm_.end());
-  std::vector<std::uint64_t> cp(col_perm_.begin(), col_perm_.end());
-  ser::write_vec(os, rp);
-  ser::write_vec(os, cp);
+  ser::write_pod<std::uint64_t>(os, grid_.grid_rows());
+  ser::write_pod<std::uint64_t>(os, grid_.grid_cols());
+  map_.save(os);
   for (const auto& t : tiles_) t->save(os);
+}
+
+void CrossbarWeightStore::read_from(std::istream& is) {
+  ser::expect_tag(is, kStoreTag);
+  cfg_ = ser::read_pod<RcsConfig>(is);
+  target_ = read_tensor(is);
+  REFIT_CHECK_MSG(target_.rank() == 2, "corrupt store checkpoint");
+  weight_max_ = ser::read_pod<double>(is);
+  const auto grid_rows = ser::read_pod<std::uint64_t>(is);
+  const auto grid_cols = ser::read_pod<std::uint64_t>(is);
+  grid_ = TileGrid(rows(), cols(), cfg_.tile_rows, cfg_.tile_cols);
+  REFIT_CHECK_MSG(grid_.grid_rows() == grid_rows && grid_.grid_cols() == grid_cols,
+                  "corrupt store checkpoint (tile grid)");
+  map_ = LogicalMapping::load(is);
+  REFIT_CHECK_MSG(map_.rows() == rows() && map_.cols() == cols(),
+                  "corrupt store checkpoint (permutations)");
+  tiles_.clear();
+  tiles_.reserve(grid_.tile_count());
+  for (std::size_t t = 0; t < grid_.tile_count(); ++t) {
+    tiles_.push_back(std::make_unique<Crossbar>(Crossbar::load(is)));
+  }
+  tile_dirty_.assign(tiles_.size(), 1);
+  any_dirty_ = true;
+  effective_ = Tensor();
+  resync_counters();
 }
 
 std::unique_ptr<CrossbarWeightStore> CrossbarWeightStore::load(
     std::istream& is) {
-  ser::expect_tag(is, kStoreTag);
   // NOLINTNEXTLINE(*-owning-memory): private ctor, make_unique unavailable
   std::unique_ptr<CrossbarWeightStore> store(new CrossbarWeightStore());
-  store->cfg_ = ser::read_pod<RcsConfig>(is);
-  store->target_ = read_tensor(is);
-  REFIT_CHECK_MSG(store->target_.rank() == 2, "corrupt store checkpoint");
-  store->weight_max_ = ser::read_pod<double>(is);
-  store->grid_rows_ =
-      static_cast<std::size_t>(ser::read_pod<std::uint64_t>(is));
-  store->grid_cols_ =
-      static_cast<std::size_t>(ser::read_pod<std::uint64_t>(is));
-  const auto rp = ser::read_vec<std::uint64_t>(is);
-  const auto cp = ser::read_vec<std::uint64_t>(is);
-  store->row_perm_.assign(rp.begin(), rp.end());
-  store->col_perm_.assign(cp.begin(), cp.end());
-  REFIT_CHECK_MSG(store->row_perm_.size() == store->rows() &&
-                      store->col_perm_.size() == store->cols(),
-                  "corrupt store checkpoint (permutations)");
-  store->inv_row_perm_.resize(store->rows());
-  store->inv_col_perm_.resize(store->cols());
-  for (std::size_t i = 0; i < store->rows(); ++i)
-    store->inv_row_perm_[store->row_perm_[i]] = i;
-  for (std::size_t j = 0; j < store->cols(); ++j)
-    store->inv_col_perm_[store->col_perm_[j]] = j;
-  store->tiles_.reserve(store->grid_rows_ * store->grid_cols_);
-  for (std::size_t t = 0; t < store->grid_rows_ * store->grid_cols_; ++t) {
-    store->tiles_.push_back(std::make_unique<Crossbar>(Crossbar::load(is)));
-  }
-  store->tile_dirty_.assign(store->tiles_.size(), 1);
-  store->any_dirty_ = true;
-  store->resync_counters();
+  store->read_from(is);
   return store;
+}
+
+void CrossbarWeightStore::restore(std::istream& is) {
+  const Shape before = target_.shape();
+  read_from(is);
+  REFIT_CHECK_MSG(target_.shape() == before,
+                  "restore() checkpoint shape mismatch");
 }
 
 std::uint64_t CrossbarWeightStore::cell_write_count(std::size_t i,
                                                     std::size_t j) const {
-  const auto tc = locate(row_perm_[i], col_perm_[j]);
-  return tiles_[tc.ti * grid_cols_ + tc.tj]->write_count(tc.lr, tc.lc);
+  const TileGrid::Coord tc =
+      grid_.locate(map_.physical_row(i), map_.physical_col(j));
+  return tiles_[tc.tile]->write_count(tc.lr, tc.lc);
 }
 
 double CrossbarWeightStore::fault_fraction() const {

@@ -9,11 +9,14 @@
 //     weights can be re-mapped onto SA0 cells for free;
 //   - SA1 pins it to ±weight_max (sign preserved).
 //
-// Re-mapping support: logical row i / column j live at physical
-// row_perm[i] / col_perm[j]. The re-mapping engine only installs
-// permutations that correspond to neuron re-orderings (paper §5.2), so no
-// extra routing is implied; changing the permutation rewrites the cells
-// whose logical owner moved (a real write cost, counted against endurance).
+// The tile geometry lives in a TileGrid (rcs/tile_grid.hpp) and the
+// logical↔physical permutations in a LogicalMapping
+// (rcs/logical_mapping.hpp); the store owns the device state (tiles) and
+// the off-chip copies, and composes the two. The re-mapping engine only
+// installs permutations that correspond to neuron re-orderings (paper
+// §5.2), so no extra routing is implied; changing the permutation
+// rewrites the cells whose logical owner moved (a real write cost,
+// counted against endurance).
 #pragma once
 
 #include <cstdint>
@@ -22,6 +25,8 @@
 #include <vector>
 
 #include "nn/weight_store.hpp"
+#include "rcs/logical_mapping.hpp"
+#include "rcs/tile_grid.hpp"
 #include "rram/crossbar.hpp"
 #include "rram/fault_map.hpp"
 #include "rram/faults.hpp"
@@ -64,12 +69,21 @@ class CrossbarWeightStore final : public WeightStore {
   [[nodiscard]] std::uint64_t write_count() const override {
     return writes_agg_;
   }
+  /// Full device-state checkpointing through the WeightStore seam (the
+  /// engine checkpoints stores without knowing the backend).
+  void save_state(std::ostream& os) const override { save(os); }
+  void restore_state(std::istream& is) override { restore(is); }
 
   // ---- Geometry ----------------------------------------------------------
   [[nodiscard]] std::size_t rows() const { return target_.dim(0); }
   [[nodiscard]] std::size_t cols() const { return target_.dim(1); }
-  [[nodiscard]] std::size_t tile_grid_rows() const { return grid_rows_; }
-  [[nodiscard]] std::size_t tile_grid_cols() const { return grid_cols_; }
+  [[nodiscard]] const TileGrid& grid() const { return grid_; }
+  [[nodiscard]] std::size_t tile_grid_rows() const {
+    return grid_.grid_rows();
+  }
+  [[nodiscard]] std::size_t tile_grid_cols() const {
+    return grid_.grid_cols();
+  }
   [[nodiscard]] Crossbar& tile(std::size_t ti, std::size_t tj);
   [[nodiscard]] const Crossbar& tile(std::size_t ti, std::size_t tj) const;
   [[nodiscard]] const RcsConfig& config() const { return cfg_; }
@@ -89,11 +103,12 @@ class CrossbarWeightStore final : public WeightStore {
   /// Install logical→physical permutations; rewrites moved cells.
   void set_permutations(std::vector<std::size_t> row_perm,
                         std::vector<std::size_t> col_perm);
+  [[nodiscard]] const LogicalMapping& mapping() const { return map_; }
   [[nodiscard]] const std::vector<std::size_t>& row_perm() const {
-    return row_perm_;
+    return map_.row_perm();
   }
   [[nodiscard]] const std::vector<std::size_t>& col_perm() const {
-    return col_perm_;
+    return map_.col_perm();
   }
 
   // ---- Bookkeeping -------------------------------------------------------
@@ -142,22 +157,25 @@ class CrossbarWeightStore final : public WeightStore {
   /// permutations, and every tile's device state).
   void save(std::ostream& os) const;
   static std::unique_ptr<CrossbarWeightStore> load(std::istream& is);
+  /// In-place variant of load(): overwrite this store's state with a
+  /// checkpoint of a same-shaped store (engine resume keeps the network's
+  /// store pointers intact).
+  void restore(std::istream& is);
 
  private:
   /// Uninitialized shell used by load().
   CrossbarWeightStore() = default;
 
-  struct TileCoord {
-    std::size_t ti, tj, lr, lc;
-  };
-  [[nodiscard]] TileCoord locate(std::size_t phys_r, std::size_t phys_c) const;
+  /// Shared body of load()/restore().
+  void read_from(std::istream& is);
   /// Program the physical cell hosting logical (i, j) from target_.
   void write_logical(std::size_t i, std::size_t j);
   /// Rebuild only the tiles whose cells changed since the last rebuild,
   /// fanning the per-tile work across the global thread pool.
   void rebuild_effective();
-  /// Recompute the effective entries of every logical cell hosted on tile t.
-  void rebuild_tile(std::size_t t);
+  /// Recompute the effective entries of every logical cell hosted on the
+  /// tile covering `span`.
+  void rebuild_tile(const TileSpan& span);
   void mark_all_dirty();
   /// Re-derive the aggregate write/fault counters from the tiles' own
   /// running totals (O(#tiles), used after out-of-band tile mutation).
@@ -167,13 +185,9 @@ class CrossbarWeightStore final : public WeightStore {
   Tensor target_;
   Tensor effective_;
   double weight_max_ = 1.0;
-  std::size_t grid_rows_ = 0;
-  std::size_t grid_cols_ = 0;
+  TileGrid grid_;
+  LogicalMapping map_;
   std::vector<std::unique_ptr<Crossbar>> tiles_;
-  std::vector<std::size_t> row_perm_;
-  std::vector<std::size_t> col_perm_;
-  std::vector<std::size_t> inv_row_perm_;
-  std::vector<std::size_t> inv_col_perm_;
   /// Per-tile staleness of effective_ (uint8_t, not vector<bool>: lanes
   /// clear flags for distinct tiles without sharing a word). any_dirty_
   /// short-circuits effective() on the hottest path.

@@ -1,0 +1,60 @@
+// Logical↔physical permutation pair (see logical_mapping.hpp).
+#include "rcs/logical_mapping.hpp"
+
+#include <istream>
+#include <numeric>
+#include <ostream>
+#include <utility>
+
+#include "common/check.hpp"
+#include "common/serialize.hpp"
+
+namespace refit {
+
+LogicalMapping::LogicalMapping(std::size_t rows, std::size_t cols) {
+  row_perm_.resize(rows);
+  col_perm_.resize(cols);
+  std::iota(row_perm_.begin(), row_perm_.end(), 0);
+  std::iota(col_perm_.begin(), col_perm_.end(), 0);
+  inv_row_perm_ = row_perm_;
+  inv_col_perm_ = col_perm_;
+}
+
+void LogicalMapping::set(std::vector<std::size_t> row_perm,
+                         std::vector<std::size_t> col_perm) {
+  const std::size_t r = rows(), c = cols();
+  REFIT_CHECK_MSG(row_perm.size() == r && col_perm.size() == c,
+                  "permutation size mismatch");
+  std::vector<bool> seen_r(r, false), seen_c(c, false);
+  for (std::size_t v : row_perm) {
+    REFIT_CHECK_MSG(v < r && !seen_r[v], "row_perm is not a permutation");
+    seen_r[v] = true;
+  }
+  for (std::size_t v : col_perm) {
+    REFIT_CHECK_MSG(v < c && !seen_c[v], "col_perm is not a permutation");
+    seen_c[v] = true;
+  }
+  row_perm_ = std::move(row_perm);
+  col_perm_ = std::move(col_perm);
+  for (std::size_t i = 0; i < r; ++i) inv_row_perm_[row_perm_[i]] = i;
+  for (std::size_t j = 0; j < c; ++j) inv_col_perm_[col_perm_[j]] = j;
+}
+
+void LogicalMapping::save(std::ostream& os) const {
+  std::vector<std::uint64_t> rp(row_perm_.begin(), row_perm_.end());
+  std::vector<std::uint64_t> cp(col_perm_.begin(), col_perm_.end());
+  ser::write_vec(os, rp);
+  ser::write_vec(os, cp);
+}
+
+LogicalMapping LogicalMapping::load(std::istream& is) {
+  const auto rp = ser::read_vec<std::uint64_t>(is);
+  const auto cp = ser::read_vec<std::uint64_t>(is);
+  LogicalMapping map(rp.size(), cp.size());
+  std::vector<std::size_t> row_perm(rp.begin(), rp.end());
+  std::vector<std::size_t> col_perm(cp.begin(), cp.end());
+  map.set(std::move(row_perm), std::move(col_perm));
+  return map;
+}
+
+}  // namespace refit

@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstddef>
+#include <utility>
 #include <vector>
 
 #include "common/check.hpp"
@@ -17,6 +18,11 @@ class FaultMatrix {
   FaultMatrix() = default;
   FaultMatrix(std::size_t rows, std::size_t cols)
       : rows_(rows), cols_(cols), m_(rows * cols, FaultKind::kNone) {}
+  /// Reassemble from raw cell storage (checkpoint restore).
+  FaultMatrix(std::size_t rows, std::size_t cols, std::vector<FaultKind> cells)
+      : rows_(rows), cols_(cols), m_(std::move(cells)) {
+    REFIT_CHECK_MSG(m_.size() == rows_ * cols_, "fault matrix size mismatch");
+  }
 
   [[nodiscard]] std::size_t rows() const { return rows_; }
   [[nodiscard]] std::size_t cols() const { return cols_; }
@@ -40,6 +46,9 @@ class FaultMatrix {
       if (k != FaultKind::kNone) ++n;
     return n;
   }
+
+  /// Raw row-major cell storage (serialization).
+  [[nodiscard]] const std::vector<FaultKind>& cells() const { return m_; }
 
  private:
   std::size_t rows_ = 0;

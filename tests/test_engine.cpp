@@ -1,0 +1,232 @@
+// Tests for the FtEngine phase pipeline: stepwise execution, observer
+// hooks, and mid-flow checkpoint/resume. The headline test interrupts a
+// full FT run (threshold + detection + prune + greedy-swap re-mapping)
+// between two detection phases, resumes it into freshly built objects,
+// and requires the TrainingResult to be bit-identical to an
+// uninterrupted run — at 1 and at 4 threads.
+#include "core/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "core/ft_trainer.hpp"
+#include "data/synthetic.hpp"
+#include "nn/models.hpp"
+
+namespace refit {
+namespace {
+
+/// Restores the default global pool when a test is done overriding it.
+struct PoolGuard {
+  ~PoolGuard() { ThreadPool::set_global_threads(1); }
+};
+
+Dataset small_mnist(std::uint64_t seed = 1) {
+  SyntheticConfig cfg;
+  cfg.train_size = 512;
+  cfg.test_size = 128;
+  cfg.noise_stddev = 0.3f;
+  cfg.background_clip = 0.4f;
+  Rng rng(seed);
+  return make_synthetic_mnist(cfg, rng);
+}
+
+/// Full FT flow on a small MLP: detection every 80 iterations, pruning,
+/// and greedy-swap re-mapping (the greedy pass consumes phase_rng, so a
+/// resume with a mis-restored RNG stream diverges immediately).
+FtFlowConfig ft_flow() {
+  FtFlowConfig cfg;
+  cfg.iterations = 240;
+  cfg.batch_size = 16;
+  cfg.lr = LrSchedule{0.05, 0.5, 120, 1e-4};
+  cfg.eval_period = 60;
+  cfg.eval_samples = 128;
+  cfg.threshold_training = true;
+  cfg.detection_enabled = true;
+  cfg.detection_period = 80;
+  cfg.detector.test_rows_per_cycle = 16;
+  cfg.prune.enabled = true;
+  cfg.prune.fc_sparsity = 0.4;
+  cfg.remap_enabled = true;
+  cfg.remap.algorithm = RemapAlgorithm::kGreedySwap;
+  return cfg;
+}
+
+RcsConfig faulty_rcs() {
+  RcsConfig cfg;
+  cfg.tile_rows = 64;
+  cfg.tile_cols = 64;
+  cfg.levels = 8;
+  cfg.write_noise_sigma = 0.01;
+  cfg.inject_fabrication = true;
+  cfg.fabrication.fraction = 0.1;
+  cfg.endurance = EnduranceModel::gaussian(400.0, 120.0);
+  return cfg;
+}
+
+struct Rig {
+  RcsSystem sys;
+  Network net;
+  Rig() : sys(faulty_rcs(), Rng(42)), net(build(sys)) {}
+
+  static Network build(RcsSystem& sys) {
+    Rng rng(2);
+    return make_mlp({784, 24, 10}, sys.factory(), rng);
+  }
+};
+
+void expect_identical(const TrainingResult& a, const TrainingResult& b) {
+  ASSERT_EQ(a.eval_iterations, b.eval_iterations);
+  ASSERT_EQ(a.eval_accuracy.size(), b.eval_accuracy.size());
+  for (std::size_t i = 0; i < a.eval_accuracy.size(); ++i) {
+    EXPECT_EQ(a.eval_accuracy[i], b.eval_accuracy[i]) << "eval row " << i;
+    EXPECT_EQ(a.fault_fraction[i], b.fault_fraction[i]) << "eval row " << i;
+  }
+  EXPECT_EQ(a.peak_accuracy, b.peak_accuracy);
+  EXPECT_EQ(a.final_accuracy, b.final_accuracy);
+  EXPECT_EQ(a.device_writes, b.device_writes);
+  EXPECT_EQ(a.updates_written, b.updates_written);
+  EXPECT_EQ(a.updates_suppressed, b.updates_suppressed);
+  EXPECT_EQ(a.updates_zero, b.updates_zero);
+  EXPECT_EQ(a.wearout_faults, b.wearout_faults);
+  EXPECT_EQ(a.final_fault_fraction, b.final_fault_fraction);
+  ASSERT_EQ(a.phases.size(), b.phases.size());
+  for (std::size_t i = 0; i < a.phases.size(); ++i) {
+    EXPECT_EQ(a.phases[i].iteration, b.phases[i].iteration);
+    EXPECT_EQ(a.phases[i].cycles, b.phases[i].cycles);
+    EXPECT_EQ(a.phases[i].detection_writes, b.phases[i].detection_writes);
+    EXPECT_EQ(a.phases[i].precision, b.phases[i].precision);
+    EXPECT_EQ(a.phases[i].recall, b.phases[i].recall);
+    EXPECT_EQ(a.phases[i].remap_cost_before, b.phases[i].remap_cost_before);
+    EXPECT_EQ(a.phases[i].remap_cost_after, b.phases[i].remap_cost_after);
+  }
+}
+
+TrainingResult run_uninterrupted(const Dataset& data) {
+  Rig rig;
+  FtEngine engine(ft_flow());
+  return engine.run(rig.net, &rig.sys, data, Rng(3));
+}
+
+TrainingResult run_resumed(const Dataset& data, std::size_t interrupt_at) {
+  std::stringstream checkpoint;
+  {
+    Rig rig;
+    FtEngine engine(ft_flow());
+    engine.begin(rig.net, &rig.sys, data, Rng(3));
+    while (engine.context().iteration < interrupt_at) engine.step();
+    engine.save_checkpoint(checkpoint);
+    // The first engine, its network, and its RcsSystem are destroyed here
+    // — the resumed run must not depend on them.
+  }
+  Rig rig;
+  FtEngine engine(ft_flow());
+  engine.load_checkpoint(rig.net, &rig.sys, data, checkpoint);
+  EXPECT_EQ(engine.context().iteration, interrupt_at);
+  while (!engine.done()) engine.step();
+  return engine.finish();
+}
+
+TEST(EngineCheckpoint, ResumeBetweenDetectionPhasesIsBitIdentical) {
+  PoolGuard guard;
+  const Dataset data = small_mnist();
+  for (std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    ThreadPool::set_global_threads(threads);
+    const TrainingResult full = run_uninterrupted(data);
+    // Detections fire at iterations 80/160/240; interrupt between the
+    // first and second so detected-fault and prune state are live.
+    ASSERT_EQ(full.phases.size(), 3u);
+    const TrainingResult resumed = run_resumed(data, 100);
+    expect_identical(full, resumed);
+  }
+}
+
+TEST(EngineCheckpoint, ThreadCountDoesNotChangeTheResult) {
+  PoolGuard guard;
+  const Dataset data = small_mnist();
+  ThreadPool::set_global_threads(1);
+  const TrainingResult serial = run_uninterrupted(data);
+  ThreadPool::set_global_threads(4);
+  const TrainingResult parallel = run_uninterrupted(data);
+  expect_identical(serial, parallel);
+}
+
+TEST(EngineCheckpoint, LoadRejectsMismatchedFlowConfig) {
+  const Dataset data = small_mnist();
+  std::stringstream checkpoint;
+  {
+    Rig rig;
+    FtEngine engine(ft_flow());
+    engine.begin(rig.net, &rig.sys, data, Rng(3));
+    engine.step();
+    engine.save_checkpoint(checkpoint);
+  }
+  Rig rig;
+  FtFlowConfig other = ft_flow();
+  other.iterations = 480;  // different schedule → not the same run
+  FtEngine engine(other);
+  EXPECT_THROW(engine.load_checkpoint(rig.net, &rig.sys, data, checkpoint),
+               CheckError);
+}
+
+TEST(EngineObserver, SeesEveryPhaseBoundaryInOrder) {
+  struct Recorder final : EngineObserver {
+    std::vector<std::string> events;
+    void on_run_begin(const EngineContext&) override {
+      events.push_back("run-begin");
+    }
+    void on_phase_begin(const Phase& p, const EngineContext&) override {
+      events.push_back(std::string("begin:") + p.name());
+    }
+    void on_phase_end(const Phase& p, const EngineContext&) override {
+      events.push_back(std::string("end:") + p.name());
+    }
+    void on_iteration_end(const EngineContext& ctx) override {
+      events.push_back("iter:" + std::to_string(ctx.iteration));
+    }
+    void on_run_end(const EngineContext&) override {
+      events.push_back("run-end");
+    }
+  };
+
+  const Dataset data = small_mnist();
+  Rng rng(4);
+  Network net = make_mlp({784, 16, 10}, software_store_factory(), rng);
+  FtFlowConfig cfg;
+  cfg.iterations = 2;
+  cfg.batch_size = 8;
+  cfg.eval_period = 1;
+  cfg.eval_samples = 64;
+  Recorder rec;
+  FtEngine engine(cfg);
+  engine.add_observer(&rec);
+  (void)engine.run(net, nullptr, data, Rng(5));
+
+  const std::vector<std::string> want = {
+      "run-begin",
+      "begin:train-step", "end:train-step", "begin:eval", "end:eval",
+      "iter:1",
+      "begin:train-step", "end:train-step", "begin:eval", "end:eval",
+      "iter:2",
+      "run-end",
+  };
+  EXPECT_EQ(rec.events, want);
+}
+
+TEST(FtEngine, StandardPhasesMatchTheMonolithicOrder) {
+  const FtFlowConfig cfg = ft_flow();
+  const auto phases = FtEngine::standard_phases(cfg);
+  ASSERT_EQ(phases.size(), 4u);
+  EXPECT_STREQ(phases[0]->name(), "detection");
+  EXPECT_STREQ(phases[1]->name(), "remap");
+  EXPECT_STREQ(phases[2]->name(), "train-step");
+  EXPECT_STREQ(phases[3]->name(), "eval");
+}
+
+}  // namespace
+}  // namespace refit

@@ -297,6 +297,38 @@ const std::set<std::string> kAssignOps = {"=",  "+=", "-=",  "*=",  "/=",
                                           "%=", "&=", "|=",  "^=",  "<<=",
                                           ">>=", "++", "--"};
 
+/// Module layering: directory under src/ → modules it may include. A
+/// module may always include itself; anything absent from its set is an
+/// inverted (or skipped-layer) dependency. Mirrors the link graph in the
+/// per-module CMakeLists and the diagram in docs/architecture.md.
+const std::map<std::string, std::set<std::string>>& layer_deps() {
+  static const std::map<std::string, std::set<std::string>> kDeps = {
+      {"common", {}},
+      {"tensor", {"common"}},
+      {"nn", {"common", "tensor"}},
+      {"rram", {"common"}},
+      {"data", {"common", "tensor"}},
+      {"rcs", {"common", "tensor", "nn", "rram"}},
+      {"detect", {"common", "tensor", "nn", "rram", "rcs"}},
+      {"core", {"common", "tensor", "nn", "rram", "rcs", "data", "detect"}},
+  };
+  return kDeps;
+}
+
+/// The module a source file belongs to: the path component after the last
+/// `src/` segment, when it names a known module ("" otherwise — files
+/// outside src/, e.g. tests and benches, may include anything).
+std::string module_of_path(const std::string& path) {
+  const std::size_t p = path.rfind("src/");
+  if (p == std::string::npos) return "";
+  if (p > 0 && path[p - 1] != '/') return "";
+  const std::size_t b = p + 4;
+  const std::size_t e = path.find('/', b);
+  if (e == std::string::npos) return "";
+  const std::string mod = path.substr(b, e - b);
+  return layer_deps().count(mod) ? mod : "";
+}
+
 }  // namespace
 
 const std::vector<RuleInfo>& rules() {
@@ -319,6 +351,9 @@ const std::vector<RuleInfo>& rules() {
        "other code/preprocessor lines"},
       {"file-header",
        "file does not start with a `//` purpose-comment header"},
+      {"layering",
+       "an #include pointing against the module dependency order (e.g. "
+       "src/detect including core/, src/rcs including detect/)"},
   };
   return kRules;
 }
@@ -376,6 +411,35 @@ std::vector<Finding> lint_source(const std::string& path,
       if (first_code >= 0 && first_code < pragma_line)
         report("pragma-once", pragma_line,
                "`#pragma once` must precede all code");
+    }
+  }
+
+  // --- layering -------------------------------------------------------------
+  {
+    const std::string mod = module_of_path(path);
+    if (!mod.empty()) {
+      const std::set<std::string>& allowed = layer_deps().at(mod);
+      for (const PpLine& pp : lx.pp_lines) {
+        if (pp.text.compare(0, 7, "include") != 0) continue;
+        const std::size_t q1 = pp.text.find('"');
+        if (q1 == std::string::npos) continue;  // <system> includes
+        const std::size_t q2 = pp.text.find('"', q1 + 1);
+        if (q2 == std::string::npos) continue;
+        const std::string inc = pp.text.substr(q1 + 1, q2 - q1 - 1);
+        const std::size_t slash = inc.find('/');
+        if (slash == std::string::npos) continue;  // same-directory include
+        const std::string dep = inc.substr(0, slash);
+        if (!layer_deps().count(dep)) continue;  // not a module include
+        if (dep == mod || allowed.count(dep)) continue;
+        std::string deps_str;
+        for (const std::string& d : allowed)
+          deps_str += (deps_str.empty() ? "" : ", ") + d;
+        report("layering", pp.line,
+               "\"" + inc + "\" included from src/" + mod +
+                   " inverts the module layering — " + mod +
+                   " may depend only on {" +
+                   (deps_str.empty() ? "nothing" : deps_str) + "}");
+      }
     }
   }
 

@@ -20,6 +20,9 @@
 //   pragma-once          headers must open with `#pragma once` before any
 //                        code or other preprocessor line
 //   file-header          every file starts with a `//` purpose comment
+//   layering             #include pointing against the module dependency
+//                        order (common → tensor → nn → rcs → detect →
+//                        core; e.g. src/detect must not include core/)
 //
 // Suppression: `// refit-lint: allow(rule[, rule…])` on the offending line
 // or the line directly above; `// refit-lint: allow-file(rule)` within the

@@ -55,8 +55,11 @@ std::multiset<LineRule> parse_expectations(const std::string& content) {
 }
 
 std::vector<fs::path> fixtures() {
+  // Recursive: layering fixtures live under testdata/src/<module>/ so the
+  // path-derived module matches what the rule sees on real sources.
   std::vector<fs::path> out;
-  for (const auto& e : fs::directory_iterator(REFIT_LINT_TESTDATA_DIR))
+  for (const auto& e :
+       fs::recursive_directory_iterator(REFIT_LINT_TESTDATA_DIR))
     if (e.is_regular_file()) out.push_back(e.path());
   std::sort(out.begin(), out.end());
   return out;

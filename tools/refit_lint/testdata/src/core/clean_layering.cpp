@@ -1,0 +1,14 @@
+// Fixture: core/ sits at the top of the layering and may include every
+// module; a quoted include with no known module prefix (bench_util.hpp
+// here) is outside the rule's scope. Must lint clean.
+#include "bench_util.hpp"
+#include "common/rng.hpp"
+#include "core/prune.hpp"
+#include "data/dataset.hpp"
+#include "detect/quiescent_detector.hpp"
+#include "nn/network.hpp"
+#include "rcs/rcs_system.hpp"
+#include "rram/fault_map.hpp"
+#include "tensor/tensor.hpp"
+
+void g() {}

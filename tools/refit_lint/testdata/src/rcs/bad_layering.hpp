@@ -1,0 +1,7 @@
+// Fixture: a src/rcs header including detect/ — the detector depends on
+// the crossbar stores, never the other way around.
+#pragma once
+
+#include "detect/quiescent_detector.hpp"  // EXPECT-LINT: layering
+#include "rram/faults.hpp"
+#include "nn/weight_store.hpp"
