@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Regenerates tools/refit_audit/baseline.txt from the current tree.
+#
+# The baseline freezes deliberately-kept refit-audit findings; anything the
+# auditor reports that is not in the file fails CI (see docs/tooling.md).
+# Output is deterministic — sorted unique `<rule> <file> <detail>` keys with
+# repo-relative paths — so reruns on an unchanged tree are byte-identical.
+#
+# Hand-written `#` comments justifying each kept entry are NOT preserved by
+# regeneration: re-add them before committing. Policy: include-cycle,
+# phase-purity and pool-capture findings are never baselined — fix the code
+# (or, for a true false positive, suppress in place with
+# `// refit-audit: allow(<rule>)`).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT=tools/refit_audit/baseline.txt
+
+if [[ ! -f build/CMakeCache.txt ]]; then
+  cmake -B build -S .
+fi
+cmake --build build -j --target refit_audit
+
+./build/tools/refit_audit --write-baseline "$OUT" \
+  --compile-commands build/compile_commands.json
+
+if grep -E '^(include-cycle|phase-purity|pool-capture) ' "$OUT"; then
+  echo "error: the entries above must never be baselined — fix the code" >&2
+  exit 1
+fi
+echo "wrote $OUT — re-add the justification comments before committing"

@@ -3,6 +3,7 @@
 #
 #   tier1       RelWithDebInfo build (-DREFIT_WERROR=ON) + full ctest suite
 #   lint        refit-lint static analysis over src/tests/bench/examples/tools
+#   audit       refit-audit cross-TU analysis diffed against its baseline
 #   bench-smoke figure-reproduction benches end to end under REFIT_FAST=1
 #   asan-ubsan  full suite under AddressSanitizer + UBSan
 #   tsan        parallel-backend tests under ThreadSanitizer (REFIT_THREADS=4)
@@ -45,6 +46,17 @@ if ./build/tools/refit_lint src tests bench examples tools; then
   lint_rc=0
 fi
 record lint $lint_rc
+
+banner "audit: refit-audit cross-TU analysis vs baseline"
+audit_rc=1
+if [[ ! -x build/tools/refit_audit ]]; then
+  cmake --build build -j --target refit_audit || true
+fi
+if ./build/tools/refit_audit --baseline tools/refit_audit/baseline.txt \
+     --compile-commands build/compile_commands.json; then
+  audit_rc=0
+fi
+record audit $audit_rc
 
 banner "bench-smoke: figure benches under REFIT_FAST=1"
 bench_rc=0

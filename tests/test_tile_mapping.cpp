@@ -1,0 +1,150 @@
+// Round-trip tests for the tile/mapping layer the phase engine sits on:
+// LogicalMapping's permutation pairs must compose with their inverses to
+// the identity at every tile shape, and TileGrid::for_each_tile must
+// visit every tile exactly once regardless of thread count (the static
+// partition's core guarantee).
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <numeric>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "gtest/gtest.h"
+#include "rcs/logical_mapping.hpp"
+#include "rcs/tile_grid.hpp"
+
+namespace {
+
+using refit::LogicalMapping;
+using refit::ThreadPool;
+using refit::TileGrid;
+using refit::TileSpan;
+
+/// Shrinks the global pool back to one lane on scope exit (the same
+/// convention as test_backend/test_engine).
+struct PoolGuard {
+  ~PoolGuard() { ThreadPool::set_global_threads(1); }
+};
+
+/// A deterministic non-trivial permutation of [0, n): reversal composed
+/// with a relatively-prime stride walk.
+std::vector<std::size_t> scrambled(std::size_t n, std::size_t stride) {
+  std::vector<std::size_t> perm(n);
+  std::iota(perm.begin(), perm.end(), std::size_t{0});
+  std::reverse(perm.begin(), perm.end());
+  std::vector<std::size_t> out(n);
+  for (std::size_t i = 0; i < n; ++i) out[i] = perm[(i * stride + 1) % n];
+  std::sort(perm.begin(), perm.end());
+  // `out` is only a permutation when stride ⊥ n; fall back to reversal.
+  std::vector<std::size_t> check = out;
+  std::sort(check.begin(), check.end());
+  if (check != perm) {
+    out.resize(n);
+    std::iota(out.begin(), out.end(), std::size_t{0});
+    std::reverse(out.begin(), out.end());
+  }
+  return out;
+}
+
+TEST(LogicalMapping, ComposeWithInverseIsIdentityAcrossShapes) {
+  const std::size_t shapes[][2] = {{1, 1},  {1, 7},  {8, 8},
+                                   {13, 5}, {64, 3}, {31, 33}};
+  for (const auto& s : shapes) {
+    const std::size_t rows = s[0], cols = s[1];
+    LogicalMapping m(rows, cols);
+    m.set(scrambled(rows, 7), scrambled(cols, 11));
+
+    for (std::size_t i = 0; i < rows; ++i) {
+      EXPECT_EQ(m.logical_row(m.physical_row(i)), i)
+          << rows << "x" << cols << " row " << i;
+      EXPECT_EQ(m.physical_row(m.logical_row(i)), i)
+          << rows << "x" << cols << " row " << i;
+    }
+    for (std::size_t j = 0; j < cols; ++j) {
+      EXPECT_EQ(m.logical_col(m.physical_col(j)), j)
+          << rows << "x" << cols << " col " << j;
+      EXPECT_EQ(m.physical_col(m.logical_col(j)), j)
+          << rows << "x" << cols << " col " << j;
+    }
+
+    // The cached inverse tables agree with the accessors.
+    for (std::size_t i = 0; i < rows; ++i)
+      EXPECT_EQ(m.inv_row_perm()[m.row_perm()[i]], i);
+    for (std::size_t j = 0; j < cols; ++j)
+      EXPECT_EQ(m.inv_col_perm()[m.col_perm()[j]], j);
+  }
+}
+
+TEST(LogicalMapping, IdentityByDefault) {
+  const LogicalMapping m(5, 9);
+  for (std::size_t i = 0; i < 5; ++i) EXPECT_EQ(m.physical_row(i), i);
+  for (std::size_t j = 0; j < 9; ++j) EXPECT_EQ(m.logical_col(j), j);
+}
+
+/// Runs for_each_tile at a given lane count and returns per-tile visit
+/// counters (incremented with relaxed atomics so over-visits cannot hide
+/// behind a data race).
+std::vector<int> visit_counts(const TileGrid& grid, std::size_t threads) {
+  ThreadPool::set_global_threads(threads);
+  std::vector<std::atomic<int>> hits(grid.tile_count());
+  grid.for_each_tile([&hits](const TileSpan& span) {
+    hits[span.index].fetch_add(1, std::memory_order_relaxed);
+  });
+  std::vector<int> out(hits.size());
+  for (std::size_t i = 0; i < hits.size(); ++i)
+    out[i] = hits[i].load(std::memory_order_relaxed);
+  return out;
+}
+
+TEST(TileGrid, ForEachTileVisitsEveryTileExactlyOnceAtAnyThreadCount) {
+  PoolGuard guard;
+  // Shapes chosen so edge tiles shrink on both axes.
+  const std::size_t shapes[][4] = {
+      {1, 1, 4, 4}, {16, 16, 4, 4}, {17, 19, 4, 8}, {64, 48, 16, 16}};
+  for (const auto& s : shapes) {
+    const TileGrid grid(s[0], s[1], s[2], s[3]);
+    for (const std::size_t threads : {1u, 2u, 8u}) {
+      const std::vector<int> hits = visit_counts(grid, threads);
+      ASSERT_EQ(hits.size(), grid.tile_count());
+      for (std::size_t t = 0; t < hits.size(); ++t)
+        EXPECT_EQ(hits[t], 1) << s[0] << "x" << s[1] << " tile " << t
+                              << " at " << threads << " threads";
+    }
+  }
+}
+
+TEST(TileGrid, ForEachTileSpansTileTheWholeMatrix) {
+  // The spans handed to the visitor partition the matrix: every cell is
+  // covered exactly once.
+  const TileGrid grid(17, 19, 4, 8);
+  std::vector<std::atomic<int>> covered(17 * 19);
+  grid.for_each_tile([&covered](const TileSpan& span) {
+    for (std::size_t r = span.row0; r < span.row0 + span.rows; ++r)
+      for (std::size_t c = span.col0; c < span.col0 + span.cols; ++c)
+        covered[r * 19 + c].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (std::size_t i = 0; i < covered.size(); ++i)
+    EXPECT_EQ(covered[i].load(), 1) << "cell " << i;
+}
+
+TEST(TileGrid, SubsetOverloadVisitsExactlyTheSubset) {
+  PoolGuard guard;
+  const TileGrid grid(32, 32, 8, 8);  // 4x4 = 16 tiles
+  const std::vector<std::size_t> subset = {0, 5, 10, 15, 3};
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    ThreadPool::set_global_threads(threads);
+    std::vector<std::atomic<int>> hits(grid.tile_count());
+    grid.for_each_tile(subset, [&hits](const TileSpan& span) {
+      hits[span.index].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (std::size_t t = 0; t < hits.size(); ++t) {
+      const bool wanted =
+          std::find(subset.begin(), subset.end(), t) != subset.end();
+      EXPECT_EQ(hits[t].load(), wanted ? 1 : 0)
+          << "tile " << t << " at " << threads << " threads";
+    }
+  }
+}
+
+}  // namespace

@@ -1,0 +1,1129 @@
+// Extraction + whole-program rule engine behind refit-audit (see
+// audit.hpp for the rule catalogue, lexer.hpp for the shared scanner).
+#include "audit.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <istream>
+#include <map>
+#include <ostream>
+#include <sstream>
+
+#include "lexer.hpp"
+
+namespace refit::audit {
+
+using lint::LexResult;
+using lint::match_brace;
+using lint::match_paren;
+using lint::PpLine;
+using lint::Suppressions;
+using lint::TokKind;
+using lint::Token;
+
+namespace {
+
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+bool starts_with(const std::string& s, const std::string& prefix) {
+  return s.compare(0, prefix.size(), prefix) == 0;
+}
+
+/// Store/system types a Phase may not hold mutable pointers/references
+/// to: anything that owns device or flow state. Cross-phase state must
+/// flow through the EngineContext so checkpoints capture it.
+const std::set<std::string>& watched_types() {
+  static const std::set<std::string> kTypes = {
+      "WeightStore", "CrossbarWeightStore", "RcsSystem", "Crossbar",
+      "Network",     "EngineContext",       "FaultMatrix",
+  };
+  return kTypes;
+}
+
+/// The thread-pool entry points whose lambda arguments pool-capture
+/// inspects (common/thread_pool.hpp and rcs/tile_grid.hpp).
+const std::set<std::string>& pool_callees() {
+  static const std::set<std::string> kCallees = {"parallel_for",
+                                                 "for_each_tile"};
+  return kCallees;
+}
+
+const std::set<std::string> kNotAFunctionName = {
+    "if",     "for",     "while",   "switch",        "catch",
+    "return", "sizeof",  "alignof", "decltype",      "static_assert",
+    "assert", "defined", "new",     "delete",        "throw",
+    "using",  "typedef", "else",    "co_return",     "co_await",
+};
+
+const std::set<std::string> kAssignOps = {"=",  "+=", "-=",  "*=",  "/=",
+                                          "%=", "&=", "|=",  "^=",  "<<=",
+                                          ">>="};
+
+/// Skip a balanced `<...>` template argument list starting at `open`
+/// (which must be `<`); returns the index just past the matching `>`.
+/// `>>` closes two levels. Falls back to `open + 1` on mismatch.
+std::size_t skip_angles(const std::vector<Token>& t, std::size_t open) {
+  int depth = 0;
+  for (std::size_t i = open; i < t.size(); ++i) {
+    if (t[i].kind != TokKind::kPunct) continue;
+    if (t[i].text == "<") ++depth;
+    if (t[i].text == ">" && --depth == 0) return i + 1;
+    if (t[i].text == ">>") {
+      depth -= 2;
+      if (depth <= 0) return i + 1;
+    }
+    if (t[i].text == ";" || t[i].text == "{") break;  // not a template list
+  }
+  return open + 1;
+}
+
+// ---------------------------------------------------------------------------
+// Extraction: classes
+// ---------------------------------------------------------------------------
+
+/// Parse the base list between `:` and the class body's `{`. Bases are
+/// reduced to their unqualified name (`public refit::Phase` → "Phase",
+/// `BasePhase<T>` → "BasePhase").
+std::vector<std::string> parse_bases(const std::vector<Token>& t,
+                                     std::size_t colon, std::size_t open) {
+  std::vector<std::string> bases;
+  std::string last_ident;
+  int angle = 0;
+  for (std::size_t i = colon + 1; i < open; ++i) {
+    const Token& tok = t[i];
+    if (tok.text == "<") ++angle;
+    if (tok.text == ">") --angle;
+    if (tok.text == ">>") angle -= 2;
+    if (angle > 0) continue;
+    if (tok.kind == TokKind::kIdent) {
+      if (tok.text == "public" || tok.text == "protected" ||
+          tok.text == "private" || tok.text == "virtual")
+        continue;
+      last_ident = tok.text;
+    } else if (tok.text == "," || i + 1 == open) {
+      if (!last_ident.empty()) bases.push_back(last_ident);
+      last_ident.clear();
+    }
+  }
+  if (!last_ident.empty()) bases.push_back(last_ident);
+  return bases;
+}
+
+/// Collect watched-type pointer/reference data members declared directly
+/// in the class body (nested braces — method bodies, nested types — and
+/// parenthesized parameter lists are skipped, so a method *returning*
+/// `RcsSystem*` or taking `EngineContext&` is not a member).
+std::vector<MemberRef> parse_members(const std::vector<Token>& t,
+                                     std::size_t open, std::size_t close) {
+  std::vector<MemberRef> members;
+  int brace = 0;
+  int paren = 0;
+  for (std::size_t i = open + 1; i < close; ++i) {
+    const Token& tok = t[i];
+    if (tok.text == "{") ++brace;
+    if (tok.text == "}") --brace;
+    if (tok.text == "(") ++paren;
+    if (tok.text == ")") --paren;
+    if (brace > 0 || paren > 0) continue;
+    if (tok.kind != TokKind::kIdent || !watched_types().count(tok.text))
+      continue;
+    const bool const_before = i > 0 && t[i - 1].text == "const";
+    // After the type: a run of cv-qualifiers and declarator operators,
+    // then the member name.
+    std::size_t j = i + 1;
+    bool saw_ptr_or_ref = false;
+    bool const_after = false;
+    while (j < close && (t[j].text == "*" || t[j].text == "&" ||
+                         t[j].text == "const")) {
+      if (t[j].text == "*" || t[j].text == "&") {
+        if (!saw_ptr_or_ref && t[j - 1].text == "const") const_after = true;
+        saw_ptr_or_ref = true;
+      }
+      ++j;
+    }
+    if (!saw_ptr_or_ref) continue;
+    if (j >= close || t[j].kind != TokKind::kIdent) continue;
+    // `Type* name(` is a method declaration returning Type*, not a member.
+    if (j + 1 < close && t[j + 1].text == "(") continue;
+    members.push_back({tok.text, t[j].text, tok.line,
+                       const_before || const_after});
+    i = j;
+  }
+  return members;
+}
+
+// ---------------------------------------------------------------------------
+// Extraction: pool-capture hazards
+// ---------------------------------------------------------------------------
+
+struct LambdaShape {
+  bool default_ref = false;            ///< [&]
+  std::set<std::string> ref_captures;  ///< [&x] / [&x = expr]
+  std::size_t params_open = std::string::npos;
+  std::size_t body_open = std::string::npos;
+  std::size_t body_close = std::string::npos;
+};
+
+/// Interpret the `[` at `open` as a lambda introducer; returns false when
+/// it is an array subscript / attribute instead (no `(` or `{` follows
+/// the matching `]`).
+bool parse_lambda(const std::vector<Token>& t, std::size_t open,
+                  LambdaShape& out) {
+  const std::size_t close = match_brace(t, open);
+  if (close == std::string::npos || close + 1 >= t.size()) return false;
+  std::size_t after = close + 1;
+  if (t[after].text == "(") {
+    out.params_open = after;
+    const std::size_t pclose = match_paren(t, after);
+    if (pclose == std::string::npos) return false;
+    after = pclose + 1;
+    // Skip trailer: mutable / noexcept / -> Type.
+    while (after < t.size() && t[after].text != "{" &&
+           t[after].text != ";" && t[after].text != ")")
+      ++after;
+  }
+  if (after >= t.size() || t[after].text != "{") return false;
+  out.body_open = after;
+  out.body_close = match_brace(t, after);
+  if (out.body_close == std::string::npos) return false;
+  // Capture list.
+  for (std::size_t i = open + 1; i < close; ++i) {
+    if (t[i].text == "&") {
+      if (i + 1 < close && t[i + 1].kind == TokKind::kIdent)
+        out.ref_captures.insert(t[i + 1].text);
+      else
+        out.default_ref = true;
+    }
+    // Skip past init-capture expressions so their tokens are not
+    // mistaken for captures.
+    if (t[i].text == "=") {
+      int angle = 0;
+      while (i < close && !(angle == 0 && t[i].text == ",")) {
+        if (t[i].text == "(") i = match_paren(t, i);
+        if (t[i].text == "<") ++angle;
+        if (t[i].text == ">") --angle;
+        if (i == std::string::npos || i >= close) break;
+        ++i;
+      }
+    }
+  }
+  return true;
+}
+
+/// Scan one lambda handed to `callee` for by-reference captures that the
+/// body assigns to. Writes through indexing (`out[i] = …`) are the
+/// sanctioned disjoint-range pattern and do not count; only scalar
+/// assignments and ++/-- on the captured name itself do.
+void scan_lambda_body(const std::vector<Token>& t, const LambdaShape& lam,
+                      const std::string& callee,
+                      std::vector<CaptureHazard>& out) {
+  // Names declared inside the lambda (params + body locals): a token run
+  // `Type name` marks `name` as local. Over-approximating locals is safe
+  // — it only makes the rule quieter.
+  std::set<std::string> declared;
+  if (lam.params_open != std::string::npos) {
+    const std::size_t pclose = match_paren(t, lam.params_open);
+    for (std::size_t i = lam.params_open + 1; i < pclose; ++i)
+      if (t[i].kind == TokKind::kIdent) declared.insert(t[i].text);
+  }
+  for (std::size_t i = lam.body_open + 1; i < lam.body_close; ++i) {
+    if (t[i].kind != TokKind::kIdent) continue;
+    const Token& prev = t[i - 1];
+    if (prev.kind != TokKind::kIdent && prev.text != "*" &&
+        prev.text != "&" && prev.text != ">")
+      continue;
+    declared.insert(t[i].text);
+    // Comma-continued declarators share the declaration:
+    // `float a = 0, b = 0, c = 0;` declares b and c too.
+    int paren = 0;
+    for (std::size_t j = i + 1; j < lam.body_close; ++j) {
+      const std::string& s = t[j].text;
+      if (s == "(" || s == "[" || s == "{") ++paren;
+      if (s == ")" || s == "]" || s == "}") --paren;
+      if (paren > 0) continue;
+      if (s == ";" || paren < 0) break;
+      if (s == "," && j + 1 < lam.body_close &&
+          t[j + 1].kind == TokKind::kIdent)
+        declared.insert(t[j + 1].text);
+    }
+  }
+
+  std::set<std::string> reported;
+  for (std::size_t i = lam.body_open + 1; i < lam.body_close; ++i) {
+    if (t[i].kind != TokKind::kIdent) continue;
+    const std::string& name = t[i].text;
+    if (reported.count(name)) continue;
+    const Token& prev = t[i - 1];
+    // Member access / qualified names / declarations are not writes to a
+    // captured local.
+    if (prev.text == "." || prev.text == "->" || prev.text == "::" ||
+        prev.kind == TokKind::kIdent || prev.text == "*" ||
+        prev.text == "&" || prev.text == ">")
+      continue;
+    const bool written =
+        (i + 1 < lam.body_close &&
+         (kAssignOps.count(t[i + 1].text) || t[i + 1].text == "++" ||
+          t[i + 1].text == "--")) ||
+        prev.text == "++" || prev.text == "--";
+    if (!written) continue;
+    const bool hazardous =
+        lam.ref_captures.count(name) ||
+        (lam.default_ref && !declared.count(name));
+    if (!hazardous) continue;
+    out.push_back({callee, name, t[i].line});
+    reported.insert(name);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Serialization helpers
+// ---------------------------------------------------------------------------
+
+std::string join(const std::vector<std::string>& v, char sep) {
+  std::string out;
+  for (const std::string& s : v) {
+    if (!out.empty()) out += sep;
+    out += s;
+  }
+  return out;
+}
+
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::istringstream ss(s);
+  std::string item;
+  while (std::getline(ss, item, sep))
+    if (!item.empty()) out.push_back(item);
+  return out;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Finding / rules
+// ---------------------------------------------------------------------------
+
+std::string Finding::key() const { return rule + " " + file + " " + detail; }
+
+const std::vector<RuleInfo>& rules() {
+  static const std::vector<RuleInfo> kRules = {
+      {"include-cycle",
+       "a cycle in the quoted-#include graph (headers must form a DAG)"},
+      {"dead-symbol",
+       "a namespace-scope symbol defined under src/ but referenced in no "
+       "other translation unit (a .cpp and its same-stem header are one "
+       "unit); delete it or freeze it in baseline.txt with a comment"},
+      {"header-self-sufficient",
+       "a header under src/ that does not compile standalone with the "
+       "project's compile_commands.json flags"},
+      {"phase-purity",
+       "a class deriving from the engine's Phase holding a non-const "
+       "pointer/reference to a store/system type — phases must reach all "
+       "state through the EngineContext so checkpoint/resume stays exact"},
+      {"pool-capture",
+       "a lambda passed to parallel_for / for_each_tile capturing a local "
+       "by reference and assigning to it in the body (racy under the "
+       "pool's static partition; write to disjoint ranges instead)"},
+  };
+  return kRules;
+}
+
+// ---------------------------------------------------------------------------
+// Phase 1: extraction
+// ---------------------------------------------------------------------------
+
+TuSummary extract_summary(const std::string& path,
+                          const std::string& content) {
+  TuSummary tu;
+  tu.path = path;
+  tu.is_header = ends_with(path, ".hpp") || ends_with(path, ".h") ||
+                 ends_with(path, ".hh");
+
+  const LexResult lx = lint::lex(content);
+  const std::vector<Token>& t = lx.tokens;
+
+  // Suppressions, pre-resolved to "rule@line" entries (and "rule@*" for
+  // file-wide) so they survive the summary round-trip.
+  const Suppressions sup =
+      lint::parse_suppressions(lx.comments, "refit-audit:");
+  for (const std::string& rule : sup.file_wide)
+    tu.suppressed.insert(rule + "@*");
+  for (const auto& [line, rs] : sup.by_line)
+    for (const std::string& rule : rs)
+      tu.suppressed.insert(rule + "@" + std::to_string(line));
+
+  // Includes and macro definitions.
+  for (const PpLine& pp : lx.pp_lines) {
+    if (starts_with(pp.text, "include")) {
+      const std::size_t q1 = pp.text.find('"');
+      if (q1 == std::string::npos) continue;  // <system> include
+      const std::size_t q2 = pp.text.find('"', q1 + 1);
+      if (q2 == std::string::npos) continue;
+      tu.includes.push_back(pp.text.substr(q1 + 1, q2 - q1 - 1));
+      tu.include_lines.push_back(pp.line);
+      continue;
+    }
+    if (starts_with(pp.text, "define")) {
+      // Name, then every identifier in the replacement text (parameter
+      // names included — harmless over-approximation).
+      std::size_t p = 6;
+      while (p < pp.text.size() && !lint::ident_start(pp.text[p])) ++p;
+      std::size_t e = p;
+      while (e < pp.text.size() && lint::ident_char(pp.text[e])) ++e;
+      if (e == p) continue;
+      const std::string name = pp.text.substr(p, e - p);
+      std::set<std::string>& body = tu.macros[name];
+      for (std::size_t q = e; q < pp.text.size();) {
+        if (!lint::ident_start(pp.text[q])) {
+          ++q;
+          continue;
+        }
+        std::size_t qe = q;
+        while (qe < pp.text.size() && lint::ident_char(pp.text[qe])) ++qe;
+        const std::string id = pp.text.substr(q, qe - q);
+        if (id != name) body.insert(id);
+        q = qe;
+      }
+    }
+  }
+
+  // References: every identifier the TU mentions.
+  for (const Token& tok : t)
+    if (tok.kind == TokKind::kIdent) tu.refs.insert(tok.text);
+
+  // Pool-capture hazards: a linear scan independent of scope.
+  for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+    if (t[i].kind != TokKind::kIdent || !pool_callees().count(t[i].text) ||
+        t[i + 1].text != "(")
+      continue;
+    const std::size_t close = match_paren(t, i + 1);
+    if (close == std::string::npos) continue;
+    for (std::size_t j = i + 2; j < close; ++j) {
+      if (t[j].text != "[") continue;
+      LambdaShape lam;
+      if (!parse_lambda(t, j, lam)) continue;
+      scan_lambda_body(t, lam, t[i].text, tu.captures);
+      j = lam.body_close;
+    }
+    i = close;
+  }
+
+  // Namespace-scope definitions and class shapes. Class and function
+  // bodies are consumed inline, so the brace stack only tracks
+  // namespaces and stray blocks (global initializers, enum bodies).
+  struct Scope {
+    bool is_namespace = false;
+    bool anon = false;
+  };
+  std::vector<Scope> scopes;
+  auto at_ns_scope = [&] {
+    for (const Scope& s : scopes)
+      if (!s.is_namespace) return false;
+    return true;
+  };
+  auto in_anon_ns = [&] {
+    for (const Scope& s : scopes)
+      if (s.is_namespace && s.anon) return true;
+    return false;
+  };
+
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    const Token& tok = t[i];
+    if (tok.kind == TokKind::kPunct) {
+      if (tok.text == "{") scopes.push_back({false, false});
+      if (tok.text == "}" && !scopes.empty()) scopes.pop_back();
+      continue;
+    }
+    if (tok.kind != TokKind::kIdent) continue;
+
+    if (tok.text == "namespace" && (i == 0 || t[i - 1].text != "using")) {
+      std::size_t j = i + 1;
+      bool anon = true;
+      while (j < t.size() &&
+             (t[j].kind == TokKind::kIdent || t[j].text == "::")) {
+        if (t[j].kind == TokKind::kIdent) anon = false;
+        ++j;
+      }
+      if (j < t.size() && t[j].text == "{") {
+        scopes.push_back({true, anon});
+        i = j;
+      } else {
+        i = j;  // namespace alias — no scope
+      }
+      continue;
+    }
+
+    if (!at_ns_scope()) continue;
+
+    // enum [class|struct] Name [: underlying] { … };
+    if (tok.text == "enum") {
+      std::size_t j = i + 1;
+      if (j < t.size() && (t[j].text == "class" || t[j].text == "struct"))
+        ++j;
+      if (j >= t.size() || t[j].kind != TokKind::kIdent) continue;
+      const std::string name = t[j].text;
+      const int line = t[j].line;
+      std::size_t k = j + 1;
+      while (k < t.size() && t[k].text != "{" && t[k].text != ";") ++k;
+      if (k < t.size() && t[k].text == "{") {
+        if (!in_anon_ns()) tu.defs.push_back({name, line, "enum"});
+        const std::size_t body_close = match_brace(t, k);
+        if (body_close != std::string::npos) i = body_close;
+      } else {
+        i = k;
+      }
+      continue;
+    }
+
+    // class/struct Name [final] [: bases] { … };  (fwd decls skipped)
+    if ((tok.text == "class" || tok.text == "struct")) {
+      std::size_t j = i + 1;
+      if (j >= t.size() || t[j].kind != TokKind::kIdent) continue;
+      const std::string name = t[j].text;
+      const int line = t[j].line;
+      std::size_t k = j + 1;
+      if (k < t.size() && t[k].text == "final") ++k;
+      std::size_t colon = std::string::npos;
+      if (k < t.size() && t[k].text == ":") {
+        colon = k;
+        while (k < t.size() && t[k].text != "{" && t[k].text != ";") ++k;
+      }
+      // Only `{` (or `: bases {`) right after the name is a definition;
+      // anything else is a forward declaration, a template parameter
+      // (`template <class T>`), or an elaborated type.
+      if (k >= t.size() || t[k].text != "{") {
+        i = j;
+        continue;
+      }
+      const std::size_t body_close = match_brace(t, k);
+      if (body_close == std::string::npos) continue;
+      ClassInfo ci;
+      ci.name = name;
+      ci.line = line;
+      if (colon != std::string::npos) ci.bases = parse_bases(t, colon, k);
+      ci.members = parse_members(t, k, body_close);
+      tu.classes.push_back(std::move(ci));
+      if (!in_anon_ns()) tu.defs.push_back({name, line, "class"});
+      i = body_close;
+      continue;
+    }
+
+    // Function definition: Name ( params ) [trailer] { … }. Member
+    // access and keywords are excluded. Qualified names (`Foo::bar`,
+    // out-of-class methods and constructors) are not new symbols, but
+    // their bodies — and ctor member-init lists — are still consumed so
+    // `: member_(x) {` never masquerades as a definition of `member_`.
+    if (i + 1 < t.size() && t[i + 1].text == "(" &&
+        !kNotAFunctionName.count(tok.text) &&
+        (i == 0 || (t[i - 1].text != "." && t[i - 1].text != "->" &&
+                    t[i - 1].text != "operator"))) {
+      const bool qualified = i > 0 && t[i - 1].text == "::";
+      const std::size_t close = match_paren(t, i + 1);
+      if (close == std::string::npos) continue;
+      // Trailer scan to the body `{` (definition) or a terminator.
+      // Parenthesized member-init expressions and template argument
+      // lists are skipped whole.
+      std::size_t k = close + 1;
+      bool is_def = false;
+      while (k < t.size()) {
+        const std::string& s = t[k].text;
+        if (s == "{") {
+          is_def = true;
+          break;
+        }
+        if (s == ";" || s == "}" || s == "=") break;
+        if (!qualified && (s == "," || s == ")")) break;
+        if (s == "(") {
+          k = match_paren(t, k);
+          if (k == std::string::npos) break;
+          ++k;
+          continue;
+        }
+        if (s == "<") {
+          k = skip_angles(t, k);
+          continue;
+        }
+        ++k;
+      }
+      if (!is_def || k == std::string::npos) {
+        i = close;
+        continue;
+      }
+      // `static` anywhere in the leading declaration keeps it TU-local.
+      bool is_static = false;
+      for (std::size_t b = i; b-- > 0 && i - b <= 12;) {
+        const std::string& s = t[b].text;
+        if (s == ";" || s == "}" || s == "{") break;
+        if (s == "static") is_static = true;
+      }
+      if (!qualified && !is_static && !in_anon_ns())
+        tu.defs.push_back({tok.text, tok.line, "function"});
+      const std::size_t body_close = match_brace(t, k);
+      if (body_close != std::string::npos) i = body_close;
+      continue;
+    }
+  }
+  return tu;
+}
+
+// ---------------------------------------------------------------------------
+// Summary serialization
+// ---------------------------------------------------------------------------
+
+void write_summary(std::ostream& os, const TuSummary& tu) {
+  os << "tu " << (tu.is_header ? 1 : 0) << " " << tu.path << "\n";
+  for (std::size_t i = 0; i < tu.includes.size(); ++i)
+    os << "inc " << tu.include_lines[i] << " " << tu.includes[i] << "\n";
+  for (const SymbolDef& d : tu.defs)
+    os << "def " << d.line << " " << d.kind << " " << d.name << "\n";
+  for (const ClassInfo& c : tu.classes) {
+    os << "class " << c.line << " " << c.name << " "
+       << (c.bases.empty() ? "-" : join(c.bases, ',')) << "\n";
+    for (const MemberRef& m : c.members)
+      os << "mem " << m.line << " " << (m.is_const ? 1 : 0) << " " << m.type
+         << " " << m.name << "\n";
+  }
+  for (const CaptureHazard& c : tu.captures)
+    os << "cap " << c.line << " " << c.callee << " " << c.var << "\n";
+  for (const std::string& s : tu.suppressed) os << "sup " << s << "\n";
+  for (const auto& [name, body] : tu.macros) {
+    os << "mac " << name;
+    for (const std::string& id : body) os << " " << id;
+    os << "\n";
+  }
+  std::size_t col = 0;
+  for (const std::string& r : tu.refs) {
+    os << (col == 0 ? "ref" : "") << " " << r;
+    if (++col == 24) {
+      os << "\n";
+      col = 0;
+    }
+  }
+  if (col != 0) os << "\n";
+  os << "end\n";
+}
+
+std::vector<TuSummary> read_summaries(std::istream& is) {
+  std::vector<TuSummary> out;
+  TuSummary cur;
+  bool open = false;
+  std::string line;
+  while (std::getline(is, line)) {
+    std::istringstream ls(line);
+    std::string tag;
+    ls >> tag;
+    if (tag == "tu") {
+      int hdr = 0;
+      ls >> hdr >> cur.path;
+      cur.is_header = hdr != 0;
+      open = true;
+    } else if (tag == "inc") {
+      int l = 0;
+      std::string inc;
+      ls >> l >> inc;
+      cur.include_lines.push_back(l);
+      cur.includes.push_back(inc);
+    } else if (tag == "def") {
+      SymbolDef d;
+      ls >> d.line >> d.kind >> d.name;
+      cur.defs.push_back(d);
+    } else if (tag == "class") {
+      ClassInfo c;
+      std::string bases;
+      ls >> c.line >> c.name >> bases;
+      if (bases != "-") c.bases = split(bases, ',');
+      cur.classes.push_back(std::move(c));
+    } else if (tag == "mem" && !cur.classes.empty()) {
+      MemberRef m;
+      int is_const = 0;
+      ls >> m.line >> is_const >> m.type >> m.name;
+      m.is_const = is_const != 0;
+      cur.classes.back().members.push_back(m);
+    } else if (tag == "cap") {
+      CaptureHazard c;
+      ls >> c.line >> c.callee >> c.var;
+      cur.captures.push_back(c);
+    } else if (tag == "sup") {
+      std::string s;
+      ls >> s;
+      cur.suppressed.insert(s);
+    } else if (tag == "mac") {
+      std::string name;
+      ls >> name;
+      std::set<std::string>& body = cur.macros[name];
+      std::string id;
+      while (ls >> id) body.insert(id);
+    } else if (tag == "ref") {
+      std::string r;
+      while (ls >> r) cur.refs.insert(r);
+    } else if (tag == "end" && open) {
+      out.push_back(std::move(cur));
+      cur = TuSummary{};
+      open = false;
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Phase 2: analysis
+// ---------------------------------------------------------------------------
+
+namespace {
+
+bool suppressed(const TuSummary& tu, const std::string& rule, int line) {
+  return tu.suppressed.count(rule + "@*") ||
+         tu.suppressed.count(rule + "@" + std::to_string(line)) ||
+         tu.suppressed.count(rule + "@" + std::to_string(line - 1));
+}
+
+/// Lexical-normalize a path ("a/./b", "a/x/../b" → "a/b").
+std::string normalize(const std::string& p) {
+  return std::filesystem::path(p).lexically_normal().generic_string();
+}
+
+std::string dir_of(const std::string& p) {
+  const std::size_t slash = p.rfind('/');
+  return slash == std::string::npos ? "" : p.substr(0, slash);
+}
+
+/// Unit key pairing a .cpp with its same-stem header.
+std::string unit_of(const std::string& p) {
+  const std::size_t dot = p.rfind('.');
+  return dot == std::string::npos ? p : p.substr(0, dot);
+}
+
+// ---- include-cycle --------------------------------------------------------
+
+void check_include_cycles(const std::vector<TuSummary>& tus,
+                          std::vector<Finding>& findings) {
+  // Resolve each quoted include to a scanned file: relative to the
+  // includer's directory first, then to src/ (the project's include
+  // root), then as written.
+  std::map<std::string, const TuSummary*> by_path;
+  for (const TuSummary& tu : tus) by_path[normalize(tu.path)] = &tu;
+  auto resolve = [&](const TuSummary& from,
+                     const std::string& inc) -> const TuSummary* {
+    for (const std::string& cand :
+         {normalize(dir_of(from.path) + "/" + inc), normalize("src/" + inc),
+          normalize(inc)}) {
+      const auto it = by_path.find(cand);
+      if (it != by_path.end()) return it->second;
+    }
+    return nullptr;
+  };
+
+  // Edges between headers only (a .cpp cannot appear inside a cycle).
+  std::map<const TuSummary*, std::vector<std::pair<const TuSummary*, int>>>
+      edges;
+  for (const TuSummary& tu : tus) {
+    if (!tu.is_header) continue;
+    for (std::size_t i = 0; i < tu.includes.size(); ++i) {
+      const TuSummary* to = resolve(tu, tu.includes[i]);
+      if (to != nullptr && to->is_header && to != &tu)
+        edges[&tu].push_back({to, tu.include_lines[i]});
+    }
+  }
+
+  // Iterative DFS with colors; each cycle is reported once, anchored at
+  // its lexicographically smallest member so the finding is stable.
+  std::map<const TuSummary*, int> color;  // 0 white, 1 grey, 2 black
+  std::set<std::string> seen_cycles;
+  std::vector<const TuSummary*> stack;
+
+  std::function<void(const TuSummary*)> dfs = [&](const TuSummary* n) {
+    color[n] = 1;
+    stack.push_back(n);
+    for (const auto& [to, line] : edges[n]) {
+      (void)line;
+      if (color[to] == 2) continue;
+      if (color[to] == 1) {
+        // Found a cycle: the stack suffix from `to` to `n`.
+        const auto begin =
+            std::find(stack.begin(), stack.end(), to);
+        std::vector<std::string> members;
+        for (auto it = begin; it != stack.end(); ++it)
+          members.push_back((*it)->path);
+        std::vector<std::string> sorted = members;
+        std::sort(sorted.begin(), sorted.end());
+        const std::string key = join(sorted, ' ');
+        if (seen_cycles.count(key)) continue;
+        seen_cycles.insert(key);
+        // Anchor: smallest member; line: its include of the next member.
+        const std::size_t anchor = static_cast<std::size_t>(
+            std::min_element(members.begin(), members.end()) -
+            members.begin());
+        const TuSummary* atu = by_path.at(normalize(members[anchor]));
+        const std::string& next = members[(anchor + 1) % members.size()];
+        int at_line = 1;
+        for (const auto& [to2, line2] : edges[atu])
+          if (to2->path == next) at_line = line2;
+        // Rotate so the message walks the cycle from the anchor.
+        std::vector<std::string> walk;
+        for (std::size_t k = 0; k < members.size(); ++k)
+          walk.push_back(members[(anchor + k) % members.size()]);
+        walk.push_back(members[anchor]);
+        if (!suppressed(*atu, "include-cycle", at_line))
+          findings.push_back({atu->path, at_line, "include-cycle",
+                              "#include cycle: " + join(walk, ' ') +
+                                  " (headers must form a DAG)",
+                              join(sorted, ',')});
+        continue;
+      }
+      dfs(to);
+    }
+    stack.pop_back();
+    color[n] = 2;
+  };
+  for (const TuSummary& tu : tus)
+    if (tu.is_header && color[&tu] == 0) dfs(&tu);
+}
+
+// ---- dead-symbol ----------------------------------------------------------
+
+void check_dead_symbols(const std::vector<TuSummary>& tus,
+                        std::vector<Finding>& findings) {
+  // Project-wide macro table: using a macro anywhere references every
+  // identifier in its replacement text (transitively, for macros built
+  // from macros — REFIT_INFO → REFIT_LOG → log_line).
+  std::map<std::string, std::set<std::string>> macro_bodies;
+  for (const TuSummary& tu : tus)
+    for (const auto& [name, body] : tu.macros)
+      macro_bodies[name].insert(body.begin(), body.end());
+
+  // refs per unit (a .cpp and its same-stem header merge), expanded
+  // through the macro table to a fixpoint.
+  std::map<std::string, std::set<std::string>> unit_refs;
+  for (const TuSummary& tu : tus)
+    unit_refs[unit_of(tu.path)].insert(tu.refs.begin(), tu.refs.end());
+  for (auto& [unit, refs] : unit_refs) {
+    std::vector<std::string> work(refs.begin(), refs.end());
+    while (!work.empty()) {
+      const std::string r = std::move(work.back());
+      work.pop_back();
+      const auto it = macro_bodies.find(r);
+      if (it == macro_bodies.end()) continue;
+      for (const std::string& id : it->second)
+        if (refs.insert(id).second) work.push_back(id);
+    }
+  }
+
+  // name → units referencing it.
+  std::map<std::string, std::set<std::string>> ref_units;
+  for (const auto& [unit, refs] : unit_refs)
+    for (const std::string& r : refs) ref_units[r].insert(unit);
+
+  for (const TuSummary& tu : tus) {
+    if (!starts_with(normalize(tu.path), "src/")) continue;
+    const std::string unit = unit_of(tu.path);
+    for (const SymbolDef& d : tu.defs) {
+      if (d.name == "main") continue;
+      const auto it = ref_units.find(d.name);
+      const std::size_t external =
+          it == ref_units.end() ? 0 : it->second.size() -
+                                          (it->second.count(unit) ? 1 : 0);
+      if (external > 0) continue;
+      if (suppressed(tu, "dead-symbol", d.line)) continue;
+      findings.push_back(
+          {tu.path, d.line, "dead-symbol",
+           d.kind + " '" + d.name +
+               "' is referenced in no other translation unit — delete it, "
+               "make it TU-local, or freeze it in baseline.txt with a "
+               "comment",
+           d.name});
+    }
+  }
+}
+
+// ---- phase-purity ---------------------------------------------------------
+
+void check_phase_purity(const std::vector<TuSummary>& tus,
+                        std::vector<Finding>& findings) {
+  // Class → bases, merged across TUs (unqualified names).
+  std::map<std::string, std::set<std::string>> bases;
+  for (const TuSummary& tu : tus)
+    for (const ClassInfo& c : tu.classes)
+      bases[c.name].insert(c.bases.begin(), c.bases.end());
+
+  std::map<std::string, bool> memo;
+  std::function<bool(const std::string&, int)> derives_from_phase =
+      [&](const std::string& name, int depth) -> bool {
+    if (name == "Phase") return true;
+    if (depth > 16) return false;  // base-graph cycle guard
+    const auto m = memo.find(name);
+    if (m != memo.end()) return m->second;
+    memo[name] = false;  // break cycles conservatively
+    bool yes = false;
+    const auto it = bases.find(name);
+    if (it != bases.end())
+      for (const std::string& b : it->second)
+        if (derives_from_phase(b, depth + 1)) yes = true;
+    memo[name] = yes;
+    return yes;
+  };
+
+  for (const TuSummary& tu : tus) {
+    for (const ClassInfo& c : tu.classes) {
+      if (c.name == "Phase" || !derives_from_phase(c.name, 0)) continue;
+      for (const MemberRef& m : c.members) {
+        if (m.is_const) continue;
+        if (suppressed(tu, "phase-purity", m.line)) continue;
+        findings.push_back(
+            {tu.path, m.line, "phase-purity",
+             c.name + "::" + m.name + " holds a mutable " + m.type +
+                 " — phases may only reach store/system state through the "
+                 "EngineContext passed to run(), or checkpoint/resume "
+                 "silently drops it",
+             c.name + "::" + m.name});
+      }
+    }
+  }
+}
+
+// ---- pool-capture ---------------------------------------------------------
+
+void check_pool_captures(const std::vector<TuSummary>& tus,
+                         std::vector<Finding>& findings) {
+  for (const TuSummary& tu : tus) {
+    for (const CaptureHazard& c : tu.captures) {
+      if (suppressed(tu, "pool-capture", c.line)) continue;
+      findings.push_back(
+          {tu.path, c.line, "pool-capture",
+           "lambda passed to " + c.callee + " captures '" + c.var +
+               "' by reference and assigns to it — lanes race on it under "
+               "the static partition; write to disjoint per-index output "
+               "instead",
+           c.var + "@" + c.callee});
+    }
+  }
+}
+
+// ---- header-self-sufficient -----------------------------------------------
+
+/// Read one JSON string starting at the opening quote; handles \" and \\.
+std::string read_json_string(const std::string& s, std::size_t& i) {
+  std::string out;
+  ++i;  // opening quote
+  while (i < s.size() && s[i] != '"') {
+    if (s[i] == '\\' && i + 1 < s.size()) {
+      out += s[i + 1];
+      i += 2;
+    } else {
+      out += s[i++];
+    }
+  }
+  ++i;  // closing quote
+  return out;
+}
+
+/// Pull the compile flags (-I / -isystem / -D / -std= / -include) and the
+/// compiler out of the first src/ entry of compile_commands.json. The
+/// parser is deliberately minimal — the file is machine-generated by
+/// CMake in this repo, not arbitrary JSON.
+struct CompileFlags {
+  std::string compiler;
+  std::vector<std::string> flags;
+  bool found = false;
+};
+
+CompileFlags parse_compile_commands(const std::string& json_path) {
+  CompileFlags out;
+  std::ifstream in(json_path, std::ios::binary);
+  if (!in) return out;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  const std::string s = ss.str();
+
+  // Walk top-level array objects; each is {"directory":…,"command":…,
+  // "file":…}. Prefer an entry compiling a file under src/.
+  struct Entry {
+    std::string command;
+    std::string file;
+  };
+  std::vector<Entry> entries;
+  std::size_t i = 0;
+  while (i < s.size()) {
+    if (s[i] != '{') {
+      ++i;
+      continue;
+    }
+    Entry e;
+    int depth = 0;
+    std::string pending_key;
+    while (i < s.size()) {
+      const char c = s[i];
+      if (c == '{') {
+        ++depth;
+        ++i;
+      } else if (c == '}') {
+        --depth;
+        ++i;
+        if (depth == 0) break;
+      } else if (c == '"') {
+        const std::string str = read_json_string(s, i);
+        // Key if followed by ':', else a value for the pending key.
+        std::size_t j = i;
+        while (j < s.size() && std::isspace(static_cast<unsigned char>(s[j])))
+          ++j;
+        if (j < s.size() && s[j] == ':') {
+          pending_key = str;
+          i = j + 1;
+        } else {
+          if (pending_key == "command") e.command = str;
+          if (pending_key == "file") e.file = str;
+          pending_key.clear();
+        }
+      } else {
+        ++i;
+      }
+    }
+    entries.push_back(std::move(e));
+  }
+  const Entry* chosen = nullptr;
+  for (const Entry& e : entries)
+    if (e.file.find("/src/") != std::string::npos && !e.command.empty()) {
+      chosen = &e;
+      break;
+    }
+  if (chosen == nullptr)
+    for (const Entry& e : entries)
+      if (!e.command.empty()) {
+        chosen = &e;
+        break;
+      }
+  if (chosen == nullptr) return out;
+
+  std::istringstream cmd(chosen->command);
+  std::string arg;
+  bool first = true;
+  bool take_next = false;
+  while (cmd >> arg) {
+    if (first) {
+      out.compiler = arg;
+      first = false;
+      continue;
+    }
+    if (take_next) {
+      out.flags.push_back(arg);
+      take_next = false;
+      continue;
+    }
+    if (starts_with(arg, "-I") || starts_with(arg, "-D") ||
+        starts_with(arg, "-std=")) {
+      out.flags.push_back(arg);
+    } else if (arg == "-isystem" || arg == "-include") {
+      out.flags.push_back(arg);
+      take_next = true;
+    }
+  }
+  out.found = !out.compiler.empty();
+  return out;
+}
+
+void check_headers_self_sufficient(const std::vector<TuSummary>& tus,
+                                   const AnalyzeOptions& opts,
+                                   std::vector<Finding>& findings) {
+  if (opts.compile_commands.empty()) return;
+  CompileFlags cf = parse_compile_commands(opts.compile_commands);
+  if (!cf.found) return;
+  if (!opts.compiler.empty()) cf.compiler = opts.compiler;
+
+  const std::filesystem::path scratch =
+      std::filesystem::temp_directory_path() / "refit_audit_hdr";
+  std::error_code ec;
+  std::filesystem::create_directories(scratch, ec);
+  if (ec) return;
+
+  std::string flags;
+  for (const std::string& f : cf.flags) flags += " " + f;
+
+  int counter = 0;
+  for (const TuSummary& tu : tus) {
+    if (!tu.is_header || !starts_with(normalize(tu.path), "src/")) continue;
+    const std::filesystem::path header =
+        std::filesystem::absolute(std::filesystem::path(opts.root) /
+                                  tu.path);
+    const std::filesystem::path stub =
+        scratch / ("hdr_" + std::to_string(counter++) + ".cpp");
+    {
+      std::ofstream out(stub);
+      out << "#include \"" << header.generic_string() << "\"\n";
+    }
+    const std::string cmd = cf.compiler + flags + " -fsyntax-only -x c++ " +
+                            stub.string();
+    const int rc = std::system(cmd.c_str());  // NOLINT
+    std::filesystem::remove(stub, ec);
+    if (rc == 0) continue;
+    if (suppressed(tu, "header-self-sufficient", 1)) continue;
+    findings.push_back(
+        {tu.path, 1, "header-self-sufficient",
+         "header does not compile standalone with the project flags — add "
+         "the includes it is missing (compiler output above)",
+         tu.path});
+  }
+}
+
+}  // namespace
+
+std::vector<Finding> analyze(const std::vector<TuSummary>& tus,
+                             const AnalyzeOptions& opts) {
+  std::vector<Finding> findings;
+  check_include_cycles(tus, findings);
+  check_dead_symbols(tus, findings);
+  check_phase_purity(tus, findings);
+  check_pool_captures(tus, findings);
+  check_headers_self_sufficient(tus, opts, findings);
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.file != b.file) return a.file < b.file;
+              if (a.line != b.line) return a.line < b.line;
+              return a.rule < b.rule;
+            });
+  return findings;
+}
+
+// ---------------------------------------------------------------------------
+// Baseline
+// ---------------------------------------------------------------------------
+
+Baseline Baseline::parse(std::istream& is) {
+  Baseline bl;
+  std::string line;
+  while (std::getline(is, line)) {
+    // Strip trailing comments and whitespace.
+    const std::size_t hash = line.find(" #");
+    if (hash != std::string::npos) line = line.substr(0, hash);
+    const std::size_t b = line.find_first_not_of(" \t\r");
+    if (b == std::string::npos || line[b] == '#') continue;
+    const std::size_t e = line.find_last_not_of(" \t\r");
+    bl.keys.insert(line.substr(b, e - b + 1));
+  }
+  return bl;
+}
+
+RatchetResult apply_baseline(const std::vector<Finding>& findings,
+                             const Baseline& baseline) {
+  RatchetResult out;
+  std::set<std::string> matched;
+  for (const Finding& f : findings) {
+    if (baseline.covers(f)) {
+      out.frozen.push_back(f);
+      matched.insert(f.key());
+    } else {
+      out.fresh.push_back(f);
+    }
+  }
+  for (const std::string& k : baseline.keys)
+    if (!matched.count(k)) out.stale.push_back(k);
+  std::sort(out.stale.begin(), out.stale.end());
+  return out;
+}
+
+}  // namespace refit::audit

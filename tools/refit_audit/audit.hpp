@@ -1,0 +1,188 @@
+// refit-audit — cross-translation-unit static analysis (docs/tooling.md).
+//
+// Where refit-lint judges one file at a time, refit-audit sees the whole
+// program. It runs in two phases:
+//
+//   1. extraction  — each translation unit is lexed (with refit-lint's
+//      shared lexer) into a TuSummary: its includes, the symbols it
+//      defines and references at namespace scope, every class with its
+//      base list and raw-pointer/reference members, and every lambda
+//      handed to the thread pool (parallel_for / for_each_tile) together
+//      with its by-reference captures and the scalars its body writes.
+//      Summaries serialize to a line-oriented text format, one summary
+//      per file, so extraction can be cached or distributed.
+//
+//   2. analysis — the merged summaries are checked against the project-
+//      wide rules:
+//
+//      include-cycle           any cycle in the quoted-include graph
+//      dead-symbol             a non-test symbol defined under src/ but
+//                              referenced nowhere outside its own TU
+//                              (a .cpp and its same-stem header count as
+//                              one TU)
+//      header-self-sufficient  every header under src/ compiles on its
+//                              own, with flags taken from
+//                              compile_commands.json (skipped when no
+//                              compile database is given)
+//      phase-purity            a class deriving (transitively) from the
+//                              engine's Phase must not hold non-const
+//                              pointers/references to store/system types
+//                              — all cross-phase state flows through
+//                              EngineContext
+//      pool-capture            a lambda given to ThreadPool::parallel_for
+//                              or TileGrid::for_each_tile that captures a
+//                              local by reference and assigns to it in
+//                              the body (a data race the static
+//                              partitioning cannot save)
+//
+// Findings diff against a checked-in baseline (tools/refit_audit/
+// baseline.txt): pre-existing, deliberately-kept debt is frozen there and
+// anything new fails. In-source suppression uses the shared syntax with
+// this tool's tag: `// refit-audit: allow(rule)`.
+#pragma once
+
+#include <iosfwd>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace refit::audit {
+
+/// One whole-program rule violation. `detail` is the finding's stable
+/// identity (symbol name, cycle path, member, captured variable) — the
+/// baseline keys on (rule, file, detail) and never on line numbers, so
+/// unrelated edits cannot unfreeze old debt.
+struct Finding {
+  std::string file;
+  int line = 0;
+  std::string rule;
+  std::string message;
+  std::string detail;
+
+  /// Baseline key: "<rule> <file> <detail>".
+  [[nodiscard]] std::string key() const;
+};
+
+/// Name + one-line description, for --list-rules and docs.
+struct RuleInfo {
+  const char* name;
+  const char* description;
+};
+
+/// All rules the auditor knows, in report order.
+const std::vector<RuleInfo>& rules();
+
+// ---------------------------------------------------------------------------
+// Phase 1: per-TU extraction
+// ---------------------------------------------------------------------------
+
+/// A namespace-scope definition (class/struct/enum or free function).
+struct SymbolDef {
+  std::string name;
+  int line = 0;
+  std::string kind;  ///< "class" | "enum" | "function"
+};
+
+/// A pointer/reference data member of a class (only members whose type
+/// names a watched store/system type are recorded).
+struct MemberRef {
+  std::string type;    ///< the pointee/referee type name
+  std::string name;    ///< member name
+  int line = 0;
+  bool is_const = false;
+};
+
+/// A class with its base list (for the Phase-derivation walk).
+struct ClassInfo {
+  std::string name;
+  int line = 0;
+  std::vector<std::string> bases;     ///< unqualified base names
+  std::vector<MemberRef> members;     ///< watched pointer/ref members
+};
+
+/// A by-reference capture that the lambda body assigns to.
+struct CaptureHazard {
+  std::string callee;  ///< "parallel_for" | "for_each_tile"
+  std::string var;     ///< the captured, written variable
+  int line = 0;        ///< line of the offending write
+};
+
+/// Everything the whole-program pass needs to know about one file.
+struct TuSummary {
+  std::string path;      ///< as scanned (repo-relative in normal runs)
+  bool is_header = false;
+  std::vector<std::string> includes;  ///< quoted includes, as written
+  std::vector<int> include_lines;     ///< parallel to `includes`
+  std::vector<SymbolDef> defs;
+  std::set<std::string> refs;  ///< every identifier the TU mentions
+  /// #define name → identifiers in its replacement text. dead-symbol
+  /// expands refs through this map so a function called only from a
+  /// macro's expansion (REFIT_CHECK → check_failed) counts as referenced
+  /// wherever the macro is used.
+  std::map<std::string, std::set<std::string>> macros;
+  std::vector<ClassInfo> classes;
+  std::vector<CaptureHazard> captures;
+  /// Lines with a `// refit-audit: allow(...)` suppression, pre-resolved
+  /// to the rules they cover ("rule@line" strings), so suppressions
+  /// survive the summary round-trip.
+  std::set<std::string> suppressed;
+};
+
+/// Lex + summarize one file. Never fails; unparseable constructs are
+/// skipped (this is a linter, not a compiler).
+[[nodiscard]] TuSummary extract_summary(const std::string& path,
+                                        const std::string& content);
+
+/// Line-oriented text serialization, one summary per file. Summaries
+/// stream back-to-back; read_summaries consumes the whole stream.
+void write_summary(std::ostream& os, const TuSummary& tu);
+[[nodiscard]] std::vector<TuSummary> read_summaries(std::istream& is);
+
+// ---------------------------------------------------------------------------
+// Phase 2: whole-program analysis
+// ---------------------------------------------------------------------------
+
+struct AnalyzeOptions {
+  /// Path to compile_commands.json; empty skips header-self-sufficient.
+  std::string compile_commands;
+  /// Directory the scanned paths are relative to (the repo root in normal
+  /// runs); header-self-sufficient resolves headers against it.
+  std::string root = ".";
+  /// Override the compiler binary for the header check (tests); empty
+  /// uses the compiler recorded in the compile database.
+  std::string compiler;
+};
+
+/// Run every cross-TU rule over the merged summaries. Findings are sorted
+/// by (file, line, rule); in-source suppressions are already applied.
+[[nodiscard]] std::vector<Finding> analyze(const std::vector<TuSummary>& tus,
+                                           const AnalyzeOptions& opts);
+
+// ---------------------------------------------------------------------------
+// Baseline ratchet
+// ---------------------------------------------------------------------------
+
+/// The checked-in debt freeze: one `<rule> <file> <detail>` key per line,
+/// `#` comments and blank lines ignored.
+struct Baseline {
+  std::set<std::string> keys;
+
+  [[nodiscard]] static Baseline parse(std::istream& is);
+  [[nodiscard]] bool covers(const Finding& f) const {
+    return keys.count(f.key()) > 0;
+  }
+};
+
+/// Splits findings into `fresh` (fail CI) and `frozen` (baselined), and
+/// returns the baseline keys that no longer match anything (stale —
+/// regenerate with scripts/audit_baseline.sh).
+struct RatchetResult {
+  std::vector<Finding> fresh;
+  std::vector<Finding> frozen;
+  std::vector<std::string> stale;
+};
+[[nodiscard]] RatchetResult apply_baseline(const std::vector<Finding>& findings,
+                                           const Baseline& baseline);
+
+}  // namespace refit::audit

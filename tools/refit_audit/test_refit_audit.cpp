@@ -1,0 +1,264 @@
+// Expected-findings self-test for refit-audit. Each directory under
+// testdata/ is one whole-program case: every file in it is extracted,
+// round-tripped through the summary text format, merged, and analyzed,
+// and the produced (file, line, rule) triples must match the fixtures'
+// annotations exactly —
+//
+//   // EXPECT-AUDIT: <rule>        finding on this line
+//   // EXPECT-AUDIT@<N>: <rule>    finding reported at line N
+//
+// Cases without annotations assert the auditor stays silent, so the clean
+// cases guard against false positives as much as the bad ones guard
+// against false negatives. The header-self-sufficient rule needs a real
+// compiler, so it gets a dedicated test that generates its own
+// compile_commands.json (compiler from REFIT_AUDIT_CXX).
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <regex>
+#include <set>
+#include <sstream>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "audit.hpp"
+#include "gtest/gtest.h"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+using FileLineRule = std::tuple<std::string, int, std::string>;
+
+std::string read_file(const fs::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  EXPECT_TRUE(in) << "cannot open fixture " << p;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+std::vector<fs::path> case_dirs() {
+  std::vector<fs::path> out;
+  for (const auto& e : fs::directory_iterator(REFIT_AUDIT_TESTDATA_DIR))
+    if (e.is_directory()) out.push_back(e.path());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+/// Files of one case, as (case-relative path, content), sorted by path.
+std::vector<std::pair<std::string, std::string>> case_files(
+    const fs::path& dir) {
+  std::vector<std::pair<std::string, std::string>> out;
+  for (const auto& e : fs::recursive_directory_iterator(dir))
+    if (e.is_regular_file())
+      out.emplace_back(
+          e.path().lexically_relative(dir).generic_string(),
+          read_file(e.path()));
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::multiset<FileLineRule> parse_expectations(const std::string& file,
+                                               const std::string& content) {
+  std::multiset<FileLineRule> want;
+  const std::regex at_line(R"(EXPECT-AUDIT@(\d+):\s*([a-z0-9-]+))");
+  const std::regex same_line(R"(EXPECT-AUDIT:\s*([a-z0-9-]+))");
+  std::istringstream ss(content);
+  std::string line;
+  int lineno = 0;
+  while (std::getline(ss, line)) {
+    ++lineno;
+    std::smatch m;
+    if (std::regex_search(line, m, at_line))
+      want.emplace(file, std::stoi(m[1]), m[2]);
+    else if (std::regex_search(line, m, same_line))
+      want.emplace(file, lineno, m[1]);
+  }
+  return want;
+}
+
+/// Extract + serialize + parse back, so every case also exercises the
+/// summary wire format.
+std::vector<refit::audit::TuSummary> summarize_round_trip(
+    const std::vector<std::pair<std::string, std::string>>& files) {
+  std::stringstream wire;
+  for (const auto& [path, content] : files)
+    refit::audit::write_summary(
+        wire, refit::audit::extract_summary(path, content));
+  return refit::audit::read_summaries(wire);
+}
+
+}  // namespace
+
+TEST(RefitAudit, TestdataDirHasCases) {
+  EXPECT_GE(case_dirs().size(), 9u)
+      << "testdata/ should hold a bad and a clean case per rule";
+}
+
+TEST(RefitAudit, CasesProduceExactlyTheAnnotatedFindings) {
+  for (const fs::path& dir : case_dirs()) {
+    SCOPED_TRACE(dir.filename().string());
+    const auto files = case_files(dir);
+    ASSERT_FALSE(files.empty());
+
+    std::multiset<FileLineRule> want;
+    for (const auto& [path, content] : files) {
+      const auto w = parse_expectations(path, content);
+      want.insert(w.begin(), w.end());
+    }
+
+    std::multiset<FileLineRule> got;
+    for (const auto& f : refit::audit::analyze(summarize_round_trip(files),
+                                               {}))
+      got.emplace(f.file, f.line, f.rule);
+
+    for (const auto& [file, line, rule] : want)
+      EXPECT_TRUE(got.count({file, line, rule}))
+          << "expected finding [" << rule << "] at " << file << ":" << line
+          << " was not produced";
+    for (const auto& [file, line, rule] : got)
+      EXPECT_TRUE(want.count({file, line, rule}))
+          << "unexpected finding [" << rule << "] at " << file << ":"
+          << line;
+  }
+}
+
+TEST(RefitAudit, EveryRuleIsCoveredByACase) {
+  std::set<std::string> exercised;
+  for (const fs::path& dir : case_dirs())
+    for (const auto& [path, content] : case_files(dir))
+      for (const auto& [f, l, rule] : parse_expectations(path, content))
+        exercised.insert(rule);
+  // header-self-sufficient needs a compiler; HeaderSelfSufficiency below
+  // covers it end to end.
+  exercised.insert("header-self-sufficient");
+  for (const auto& r : refit::audit::rules())
+    EXPECT_TRUE(exercised.count(r.name))
+        << "rule '" << r.name << "' has no expected-findings case";
+}
+
+TEST(RefitAudit, SummaryRoundTripPreservesEveryField) {
+  const std::string src =
+      "// header comment\n"
+      "#include \"dep.hpp\"\n"
+      "// refit-audit: allow(dead-symbol)\n"
+      "class Widget : public Base {\n"
+      "  Network* net_ = nullptr;\n"
+      "};\n"
+      "inline int helper() { return 1; }\n";
+  const refit::audit::TuSummary a =
+      refit::audit::extract_summary("src/widget.hpp", src);
+  std::stringstream wire;
+  refit::audit::write_summary(wire, a);
+  const auto read = refit::audit::read_summaries(wire);
+  ASSERT_EQ(read.size(), 1u);
+  const refit::audit::TuSummary& b = read[0];
+
+  EXPECT_EQ(b.path, a.path);
+  EXPECT_EQ(b.is_header, a.is_header);
+  EXPECT_EQ(b.includes, a.includes);
+  EXPECT_EQ(b.include_lines, a.include_lines);
+  EXPECT_EQ(b.refs, a.refs);
+  EXPECT_EQ(b.suppressed, a.suppressed);
+  ASSERT_EQ(b.defs.size(), a.defs.size());
+  for (std::size_t i = 0; i < a.defs.size(); ++i) {
+    EXPECT_EQ(b.defs[i].name, a.defs[i].name);
+    EXPECT_EQ(b.defs[i].line, a.defs[i].line);
+    EXPECT_EQ(b.defs[i].kind, a.defs[i].kind);
+  }
+  ASSERT_EQ(b.classes.size(), a.classes.size());
+  for (std::size_t i = 0; i < a.classes.size(); ++i) {
+    EXPECT_EQ(b.classes[i].name, a.classes[i].name);
+    EXPECT_EQ(b.classes[i].bases, a.classes[i].bases);
+    ASSERT_EQ(b.classes[i].members.size(), a.classes[i].members.size());
+    for (std::size_t j = 0; j < a.classes[i].members.size(); ++j) {
+      EXPECT_EQ(b.classes[i].members[j].type, a.classes[i].members[j].type);
+      EXPECT_EQ(b.classes[i].members[j].name, a.classes[i].members[j].name);
+      EXPECT_EQ(b.classes[i].members[j].line, a.classes[i].members[j].line);
+      EXPECT_EQ(b.classes[i].members[j].is_const,
+                a.classes[i].members[j].is_const);
+    }
+  }
+  // Sanity on the extraction itself, not just the round-trip.
+  ASSERT_EQ(a.classes.size(), 1u);
+  EXPECT_EQ(a.classes[0].bases, std::vector<std::string>{"Base"});
+  ASSERT_EQ(a.classes[0].members.size(), 1u);
+  EXPECT_EQ(a.classes[0].members[0].type, "Network");
+  ASSERT_EQ(a.defs.size(), 2u);
+  EXPECT_EQ(a.defs[1].name, "helper");
+  EXPECT_TRUE(a.suppressed.count("dead-symbol@3"));
+}
+
+TEST(RefitAudit, BaselineFreezesAndReportsStaleEntries) {
+  refit::audit::Finding kept{"src/a.cpp", 10, "dead-symbol", "msg", "OldFn"};
+  refit::audit::Finding fresh{"src/b.cpp", 4, "pool-capture", "msg",
+                              "x@parallel_for"};
+  std::istringstream bl(
+      "# comment line\n"
+      "\n"
+      "dead-symbol src/a.cpp OldFn  # kept: exercised via reflection\n"
+      "dead-symbol src/gone.cpp Removed\n");
+  const refit::audit::Baseline baseline = refit::audit::Baseline::parse(bl);
+  const refit::audit::RatchetResult rr =
+      refit::audit::apply_baseline({kept, fresh}, baseline);
+  ASSERT_EQ(rr.frozen.size(), 1u);
+  EXPECT_EQ(rr.frozen[0].detail, "OldFn");
+  ASSERT_EQ(rr.fresh.size(), 1u);
+  EXPECT_EQ(rr.fresh[0].detail, "x@parallel_for");
+  ASSERT_EQ(rr.stale.size(), 1u);
+  EXPECT_EQ(rr.stale[0], "dead-symbol src/gone.cpp Removed");
+}
+
+TEST(RefitAudit, BaselineKeyIgnoresLineNumbers) {
+  refit::audit::Finding at10{"src/a.cpp", 10, "dead-symbol", "m", "Fn"};
+  refit::audit::Finding at99{"src/a.cpp", 99, "dead-symbol", "m", "Fn"};
+  EXPECT_EQ(at10.key(), at99.key());
+  EXPECT_EQ(at10.key(), "dead-symbol src/a.cpp Fn");
+}
+
+TEST(RefitAudit, HeaderSelfSufficiency) {
+  const fs::path dir =
+      fs::path(REFIT_AUDIT_TESTDATA_DIR) / "self_sufficient";
+  const auto files = case_files(dir);
+  ASSERT_EQ(files.size(), 2u);
+
+  // A minimal compile database: the flag harvest only needs one src/
+  // entry with a command line.
+  const fs::path cc_path =
+      fs::temp_directory_path() / "refit_audit_test_compile_commands.json";
+  {
+    std::ofstream cc(cc_path);
+    cc << "[\n  {\n    \"directory\": \"" << dir.generic_string()
+       << "\",\n    \"command\": \"" << REFIT_AUDIT_CXX
+       << " -std=c++20 -c src/good.cpp -o good.o\",\n    \"file\": \""
+       << (dir / "src/good.cpp").generic_string() << "\"\n  }\n]\n";
+  }
+
+  refit::audit::AnalyzeOptions opts;
+  opts.compile_commands = cc_path.string();
+  opts.root = dir.string();
+  const auto findings =
+      refit::audit::analyze(summarize_round_trip(files), opts);
+  std::remove(cc_path.string().c_str());
+
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "header-self-sufficient");
+  EXPECT_EQ(findings[0].file, "src/bad.hpp");
+}
+
+TEST(RefitAudit, SuppressionSurvivesTheSummaryRoundTrip) {
+  const std::string src =
+      "// fixture\n"
+      "struct Pool { template <class F> void parallel_for(int n, F f); };\n"
+      "void f(Pool& p) {\n"
+      "  int acc = 0;\n"
+      "  // refit-audit: allow(pool-capture)\n"
+      "  p.parallel_for(8, [&acc](int i) { acc += i; });\n"
+      "}\n";
+  const auto findings = refit::audit::analyze(
+      summarize_round_trip({{"src/f.cpp", src}}), {});
+  for (const auto& f : findings) EXPECT_NE(f.rule, "pool-capture");
+}

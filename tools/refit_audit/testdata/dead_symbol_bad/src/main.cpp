@@ -1,0 +1,3 @@
+// Fixture: an unrelated TU that never mentions util's symbols (and main
+// itself is exempt from dead-symbol).
+int main() { return 0; }

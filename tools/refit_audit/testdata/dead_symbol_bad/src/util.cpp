@@ -1,0 +1,8 @@
+// Fixture: same-stem .cpp — references here are the *same* unit as
+// util.hpp, so they do not count as external use.
+#include "util.hpp"
+
+static int touch_all() {
+  DeadThing t;
+  return t.value() + static_cast<int>(DeadKind::kA) + dead_helper();
+}

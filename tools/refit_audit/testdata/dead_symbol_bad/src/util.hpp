@@ -1,0 +1,15 @@
+// Fixture: symbols referenced only inside their own translation unit
+// (this header + util.cpp) are dead — internal use does not save them.
+#pragma once
+
+class DeadThing {  // EXPECT-AUDIT: dead-symbol
+ public:
+  int value() const { return 7; }
+};
+
+enum class DeadKind {  // EXPECT-AUDIT: dead-symbol
+  kA,
+  kB,
+};
+
+inline int dead_helper() { return 3; }  // EXPECT-AUDIT: dead-symbol

@@ -1,0 +1,7 @@
+// Fixture: external references that keep util.hpp's symbols alive.
+#include "util.hpp"
+
+int main() {
+  AliveThing t;
+  return t.value() + alive_helper();
+}

@@ -1,0 +1,9 @@
+// Fixture: symbols referenced from another translation unit are alive.
+#pragma once
+
+class AliveThing {
+ public:
+  int value() const { return 7; }
+};
+
+inline int alive_helper() { return 3; }

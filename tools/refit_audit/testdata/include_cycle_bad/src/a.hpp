@@ -1,0 +1,3 @@
+// Fixture: two-header include cycle (a <-> b).
+#pragma once
+#include "b.hpp"  // EXPECT-AUDIT: include-cycle

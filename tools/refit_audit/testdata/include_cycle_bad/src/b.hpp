@@ -1,0 +1,4 @@
+// Fixture: two-header include cycle (a <-> b); reported once, anchored
+// at the lexicographically smallest member (a.hpp).
+#pragma once
+#include "a.hpp"

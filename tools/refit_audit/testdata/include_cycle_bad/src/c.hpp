@@ -1,0 +1,3 @@
+// Fixture: three-header include cycle (c -> d -> e -> c).
+#pragma once
+#include "d.hpp"  // EXPECT-AUDIT: include-cycle

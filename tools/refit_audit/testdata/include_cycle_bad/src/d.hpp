@@ -1,0 +1,3 @@
+// Fixture: middle link of the c -> d -> e -> c cycle.
+#pragma once
+#include "e.hpp"

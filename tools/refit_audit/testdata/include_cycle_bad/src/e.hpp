@@ -1,0 +1,3 @@
+// Fixture: closing link of the c -> d -> e -> c cycle.
+#pragma once
+#include "c.hpp"

@@ -1,0 +1,4 @@
+// Fixture: a diamond include graph is a DAG, not a cycle.
+#pragma once
+#include "b.hpp"
+#include "c.hpp"

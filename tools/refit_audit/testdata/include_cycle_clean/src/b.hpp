@@ -1,0 +1,3 @@
+// Fixture: left edge of the diamond; shares c.hpp with a.hpp.
+#pragma once
+#include "c.hpp"

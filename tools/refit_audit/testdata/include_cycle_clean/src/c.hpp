@@ -1,0 +1,2 @@
+// Fixture: sink of the diamond; includes nothing.
+#pragma once

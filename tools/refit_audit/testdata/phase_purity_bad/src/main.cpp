@@ -1,0 +1,9 @@
+// Fixture: keeps the fixture classes alive for the dead-symbol pass.
+#include "phases.hpp"
+
+int main() {
+  Phase* p = nullptr;
+  MidPhase* m = nullptr;
+  BadPhase* b = nullptr;
+  return (p == nullptr) + (m == nullptr) + (b == nullptr);
+}

@@ -1,0 +1,16 @@
+// Fixture: the engine-style Phase root plus an intermediate base, in a
+// separate header so the derivation walk has to cross TU summaries.
+#pragma once
+
+class Phase {
+ public:
+  virtual ~Phase() = default;
+};
+
+class MidPhase : public Phase {
+ public:
+  int generation() const { return gen_; }
+
+ private:
+  int gen_ = 0;
+};

@@ -1,0 +1,9 @@
+// Fixture: keeps the fixture classes alive for the dead-symbol pass.
+#include "phases.hpp"
+
+int main() {
+  Phase* p = nullptr;
+  GoodPhase* g = nullptr;
+  NotAPhase* n = nullptr;
+  return (p == nullptr) + (g == nullptr) + (n == nullptr);
+}

@@ -1,0 +1,25 @@
+// Fixture: phase-purity does not fire on const pointers, on value
+// members, on methods returning store pointers, or on non-Phase classes.
+#pragma once
+
+struct RcsSystem;
+struct EngineContext;
+
+class Phase {
+ public:
+  virtual ~Phase() = default;
+};
+
+class GoodPhase : public Phase {
+ public:
+  RcsSystem* borrowed(EngineContext& ctx);  // return/param types are fine
+
+ private:
+  const RcsSystem* observed_ = nullptr;  // const view: allowed
+  int step_ = 0;
+};
+
+class NotAPhase {
+ public:
+  RcsSystem* sys_ = nullptr;  // mutable, but not a Phase: allowed
+};

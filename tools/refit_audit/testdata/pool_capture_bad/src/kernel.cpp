@@ -1,0 +1,38 @@
+// Fixture: lambdas handed to the pool that capture a local by reference
+// and assign to it — every lane races on the same scalar.
+#include <cstddef>
+
+struct Pool {
+  template <class F>
+  void parallel_for(std::size_t n, F f);
+};
+
+struct Grid {
+  template <class F>
+  void for_each_tile(F f);
+};
+
+float bad_sum(Pool& pool, const float* x, std::size_t n) {
+  float sum = 0.0f;
+  pool.parallel_for(n, [&](std::size_t i) {
+    sum += x[i];  // EXPECT-AUDIT: pool-capture
+  });
+  return sum;
+}
+
+float bad_max(Pool& pool, const float* x, std::size_t n) {
+  float best = 0.0f;
+  pool.parallel_for(n, [&best, x](std::size_t i) {
+    if (x[i] > best) best = x[i];  // EXPECT-AUDIT: pool-capture
+  });
+  return best;
+}
+
+int bad_count(Grid& grid) {
+  int count = 0;
+  grid.for_each_tile([&count](int tile) {
+    ++count;  // EXPECT-AUDIT: pool-capture
+    (void)tile;
+  });
+  return count;
+}

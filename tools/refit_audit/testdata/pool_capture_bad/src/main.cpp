@@ -1,0 +1,13 @@
+// Fixture: keeps the fixture symbols alive for the dead-symbol pass.
+#include <cstddef>
+
+struct Pool;
+struct Grid;
+float bad_sum(Pool& pool, const float* x, std::size_t n);
+float bad_max(Pool& pool, const float* x, std::size_t n);
+int bad_count(Grid& grid);
+
+int main() {
+  return (bad_sum == nullptr) + (bad_max == nullptr) +
+         (bad_count == nullptr);
+}

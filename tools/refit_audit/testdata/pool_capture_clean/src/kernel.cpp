@@ -1,0 +1,27 @@
+// Fixture: the sanctioned patterns — body-local accumulators, writes to
+// disjoint indexed ranges, and an explicit suppression for a loop the
+// author knows is single-threaded.
+#include <cstddef>
+
+struct Pool {
+  template <class F>
+  void parallel_for(std::size_t n, F f);
+};
+
+void good_fill(Pool& pool, const float* x, float* out, std::size_t n) {
+  pool.parallel_for(n, [&](std::size_t i) {
+    float v = x[i];       // body-local: fine to mutate
+    v += 1.0f;
+    out[i] = v;           // disjoint per-index write: the sanctioned shape
+  });
+}
+
+float good_suppressed(Pool& pool, std::size_t n) {
+  float tally = 0.0f;
+  pool.parallel_for(n, [&](std::size_t i) {
+    (void)i;
+    // refit-audit: allow(pool-capture) — pool is pinned to one thread here
+    tally = tally + 1.0f;
+  });
+  return tally;
+}

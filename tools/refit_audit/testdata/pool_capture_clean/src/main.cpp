@@ -1,0 +1,8 @@
+// Fixture: keeps the fixture symbols alive for the dead-symbol pass.
+#include <cstddef>
+
+struct Pool;
+void good_fill(Pool& pool, const float* x, float* out, std::size_t n);
+float good_suppressed(Pool& pool, std::size_t n);
+
+int main() { return (good_fill == nullptr) + (good_suppressed == nullptr); }

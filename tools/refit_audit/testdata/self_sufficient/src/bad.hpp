@@ -1,0 +1,6 @@
+// Fixture: names std::vector without including <vector> — compiles only
+// when the includer happens to have pulled it in first.
+#pragma once
+#include <cstddef>
+
+std::vector<int> make_values(std::size_t n);

@@ -1,0 +1,6 @@
+// Fixture: self-sufficient header — includes everything it names.
+#pragma once
+#include <cstddef>
+#include <vector>
+
+std::vector<int> make_values(std::size_t n);

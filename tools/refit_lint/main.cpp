@@ -3,13 +3,19 @@
 // (`path:line: [rule] message`) so editors and CI can jump to them.
 //
 // Usage:
-//   refit_lint [--list-rules] <file-or-dir>...
+//   refit_lint [--list-rules] [--json] [<file-or-dir>...]
+//
+// With no paths, the standard project roots are scanned: src tests bench
+// examples tools. `--json` emits the findings as a JSON array of
+// {file, line, rule, message} records (CI turns these into GitHub
+// annotations); the human summary moves to stderr.
 //
 // Exit status: 0 = clean, 1 = findings, 2 = usage or I/O error.
 // Directories are scanned recursively for .cpp/.hpp/.h/.cc/.hh files;
 // directories named `testdata` or starting with `build` are skipped so the
 // linter's own expected-findings fixtures never count against the tree.
 #include <algorithm>
+#include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
@@ -52,22 +58,64 @@ void collect(const fs::path& root, std::vector<fs::path>& out) {
   }
 }
 
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// The roots scanned when the CLI is invoked bare (matches check.sh/CI).
+const char* const kDefaultRoots[] = {"src", "tests", "bench", "examples",
+                                     "tools"};
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::vector<std::string> args(argv + 1, argv + argc);
-  if (!args.empty() && args[0] == "--list-rules") {
-    for (const auto& r : refit::lint::rules())
-      std::cout << r.name << "\n    " << r.description << "\n";
-    return 0;
+  bool json = false;
+  std::vector<std::string> roots;
+  for (const std::string& a : args) {
+    if (a == "--list-rules") {
+      for (const auto& r : refit::lint::rules())
+        std::cout << r.name << "\n    " << r.description << "\n";
+      return 0;
+    }
+    if (a == "--json") {
+      json = true;
+    } else if (!a.empty() && a[0] == '-') {
+      std::cerr << "usage: refit_lint [--list-rules] [--json] "
+                   "[<file-or-dir>...]\n";
+      return 2;
+    } else {
+      roots.push_back(a);
+    }
   }
-  if (args.empty()) {
-    std::cerr << "usage: refit_lint [--list-rules] <file-or-dir>...\n";
+  if (roots.empty())
+    for (const char* r : kDefaultRoots)
+      if (fs::exists(r)) roots.emplace_back(r);
+  if (roots.empty()) {
+    std::cerr << "refit_lint: no inputs (run from the repo root or pass "
+                 "paths)\n";
     return 2;
   }
 
   std::vector<fs::path> files;
-  for (const std::string& a : args) {
+  for (const std::string& a : roots) {
     if (!fs::exists(a)) {
       std::cerr << "refit_lint: no such file or directory: " << a << "\n";
       return 2;
@@ -78,6 +126,8 @@ int main(int argc, char** argv) {
 
   std::size_t total = 0;
   std::map<std::string, std::size_t> per_rule;
+  std::ostream& human = json ? std::cerr : std::cout;
+  if (json) std::cout << "[";
   for (const fs::path& f : files) {
     std::ifstream in(f, std::ios::binary);
     if (!in) {
@@ -89,22 +139,31 @@ int main(int argc, char** argv) {
     const auto findings =
         refit::lint::lint_source(f.generic_string(), ss.str());
     for (const auto& fd : findings) {
-      std::cout << fd.file << ":" << fd.line << ": [" << fd.rule << "] "
-                << fd.message << "\n";
+      if (json) {
+        std::cout << (total ? ",\n" : "\n") << "  {\"file\": \""
+                  << json_escape(fd.file) << "\", \"line\": " << fd.line
+                  << ", \"rule\": \"" << json_escape(fd.rule)
+                  << "\", \"message\": \"" << json_escape(fd.message)
+                  << "\"}";
+      } else {
+        std::cout << fd.file << ":" << fd.line << ": [" << fd.rule << "] "
+                  << fd.message << "\n";
+      }
       ++per_rule[fd.rule];
       ++total;
     }
   }
+  if (json) std::cout << (total ? "\n]\n" : "]\n");
 
   if (total == 0) {
-    std::cout << "refit-lint: " << files.size() << " files clean\n";
+    human << "refit-lint: " << files.size() << " files clean\n";
     return 0;
   }
-  std::cout << "refit-lint: " << total << " finding(s) in " << files.size()
-            << " files scanned:";
+  human << "refit-lint: " << total << " finding(s) in " << files.size()
+        << " files scanned:";
   for (const auto& [rule, count] : per_rule)
-    std::cout << " " << rule << "=" << count;
-  std::cout << "\n(suppress a deliberate use with `// refit-lint: "
-               "allow(<rule>)` on or above the line)\n";
+    human << " " << rule << "=" << count;
+  human << "\n(suppress a deliberate use with `// refit-lint: "
+           "allow(<rule>)` on or above the line)\n";
   return 1;
 }
