@@ -14,7 +14,7 @@
 //                         skipped),
 //   rebuild_tile_local  — a delta confined to one tile (detection repair,
 //                         column-repair writes): the pure algorithmic win.
-#include <chrono>
+#include <algorithm>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
@@ -26,8 +26,10 @@
 #include <thread>
 #include <vector>
 
+#include "bench_util.hpp"
 #include "common/rng.hpp"
 #include "common/thread_pool.hpp"
+#include "obs/clock.hpp"
 #include "rcs/crossbar_store.hpp"
 #include "tensor/ops.hpp"
 
@@ -39,20 +41,14 @@ using refit::Rng;
 using refit::Tensor;
 using refit::ThreadPool;
 
-double now_seconds() {
-  return std::chrono::duration<double>(
-             std::chrono::steady_clock::now().time_since_epoch())
-      .count();
-}
-
-/// Best-of-`reps` wall-clock seconds for fn().
+/// Best-of-`reps` wall-clock seconds for fn(), via the obs clock seam.
 template <typename Fn>
 double time_best(int reps, Fn&& fn) {
   double best = 1e300;
   for (int i = 0; i < reps; ++i) {
-    const double t0 = now_seconds();
+    refit::obs::Stopwatch sw;
     fn();
-    best = std::min(best, now_seconds() - t0);
+    best = std::min(best, sw.seconds());
   }
   return best;
 }
@@ -104,7 +100,8 @@ std::unique_ptr<CrossbarWeightStore> make_store(std::size_t n) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const refit::bench::ObsOptions obs_opts = refit::bench::init_obs(argc, argv);
   const bool fast = std::getenv("REFIT_FAST") != nullptr &&
                     std::string(std::getenv("REFIT_FAST")) == "1";
   const int reps = fast ? 2 : 5;
@@ -194,9 +191,9 @@ int main() {
       for (int i = 0; i < reps; ++i) {
         auto store = make_store(n);
         store->apply_delta(*rc.delta);
-        const double t0 = now_seconds();
+        refit::obs::Stopwatch sw;
         const Tensor& eff = store->effective();
-        best = std::min(best, now_seconds() - t0);
+        best = std::min(best, sw.seconds());
         sink += eff[0];
         if (ref != nullptr) bits = bits && same_bits(*ref, eff);
       }
@@ -246,5 +243,6 @@ int main() {
   }
   os << "  ]\n}\n";
   std::cout << "wrote " << path << " (sink=" << sink << ")\n";
+  refit::bench::write_obs(obs_opts);
   return 0;
 }

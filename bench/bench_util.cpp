@@ -3,6 +3,10 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <fstream>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace refit::bench {
 
@@ -95,6 +99,45 @@ double accuracy_at(const TrainingResult& r, std::size_t iteration) {
     if (r.eval_iterations[i] <= iteration) acc = r.eval_accuracy[i];
   }
   return acc;
+}
+
+ObsOptions init_obs(int argc, char** argv) {
+  ObsOptions opts;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--trace-out=", 0) == 0) {
+      opts.trace_out = arg.substr(12);
+    } else if (arg.rfind("--metrics-out=", 0) == 0) {
+      opts.metrics_out = arg.substr(14);
+    }
+  }
+  if (opts.trace_out.empty()) {
+    if (const char* env = std::getenv("REFIT_TRACE_OUT")) opts.trace_out = env;
+  }
+  if (opts.metrics_out.empty()) {
+    if (const char* env = std::getenv("REFIT_METRICS_OUT"))
+      opts.metrics_out = env;
+  }
+  if (opts.enabled()) obs::MetricsRegistry::instance().set_enabled(true);
+  if (!opts.trace_out.empty()) obs::Tracer::global().set_enabled(true);
+  return opts;
+}
+
+void write_obs(const ObsOptions& opts) {
+  if (!opts.metrics_out.empty()) {
+    std::ofstream os(opts.metrics_out);
+    if (opts.metrics_out.size() >= 4 &&
+        opts.metrics_out.compare(opts.metrics_out.size() - 4, 4, ".csv") ==
+            0) {
+      obs::MetricsRegistry::instance().write_csv(os);
+    } else {
+      obs::MetricsRegistry::instance().write_json(os);
+    }
+  }
+  if (!opts.trace_out.empty()) {
+    std::ofstream os(opts.trace_out);
+    obs::Tracer::global().write_chrome_json(os);
+  }
 }
 
 }  // namespace refit::bench

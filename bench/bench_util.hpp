@@ -90,4 +90,24 @@ class ScenarioBuilder {
 /// several runs can be printed side by side.
 double accuracy_at(const TrainingResult& r, std::size_t iteration);
 
+/// Observability wiring for benches (docs/observability.md).
+struct ObsOptions {
+  std::string trace_out;
+  std::string metrics_out;
+  [[nodiscard]] bool enabled() const {
+    return !trace_out.empty() || !metrics_out.empty();
+  }
+};
+
+/// Parse --trace-out=FILE / --metrics-out=FILE from argv, falling back to
+/// the REFIT_TRACE_OUT / REFIT_METRICS_OUT environment variables (so
+/// benches whose main() takes no arguments can still be traced), and
+/// runtime-enable the obs layer accordingly. Unrecognized arguments are
+/// left alone.
+ObsOptions init_obs(int argc, char** argv);
+
+/// Write the trace / metrics snapshot files at bench end. No-op for
+/// options that were not requested.
+void write_obs(const ObsOptions& opts);
+
 }  // namespace refit::bench

@@ -17,17 +17,27 @@
 //   prune=S                [0.3]    FC pruning sparsity when detect=1
 //   seed=N                 [1]      master seed
 //
+// Observability flags (docs/observability.md; either one enables the
+// obs layer and the end-of-run per-phase timing table):
+//   --trace-out=FILE       Chrome trace-event JSON (Perfetto-loadable)
+//   --metrics-out=FILE     metrics snapshot; .csv extension → CSV, else JSON
+//
 // Example: reproduce the Fig. 7(b) setting in one line:
 //   build/examples/experiment_cli model=cnn map=fc_only faults=0.5
 //       iters=1200 detect=1
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <map>
 #include <string>
 
 #include "core/ft_trainer.hpp"
+#include "core/obs_observer.hpp"
 #include "data/synthetic.hpp"
 #include "nn/models.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 using namespace refit;
 
@@ -43,7 +53,11 @@ std::map<std::string, std::string> parse_args(int argc, char** argv) {
                    arg.c_str());
       continue;
     }
-    kv[arg.substr(0, eq)] = arg.substr(eq + 1);
+    // Long-option spelling: --trace-out=x is stored under key trace_out.
+    std::string key = arg.substr(0, eq);
+    if (key.rfind("--", 0) == 0) key = key.substr(2);
+    std::replace(key.begin(), key.end(), '-', '_');
+    kv[key] = arg.substr(eq + 1);
   }
   return kv;
 }
@@ -74,6 +88,11 @@ int main(int argc, char** argv) {
   const double prune = std::stod(get(kv, "prune", "0.3"));
   const auto seed =
       static_cast<std::uint64_t>(std::stoll(get(kv, "seed", "1")));
+  const std::string trace_out = get(kv, "trace_out", "");
+  const std::string metrics_out = get(kv, "metrics_out", "");
+  const bool obs_on = !trace_out.empty() || !metrics_out.empty();
+  if (obs_on) obs::MetricsRegistry::instance().set_enabled(true);
+  if (!trace_out.empty()) obs::Tracer::global().set_enabled(true);
 
   // Dataset.
   SyntheticConfig dc;
@@ -130,6 +149,8 @@ int main(int argc, char** argv) {
               threshold ? 1 : 0, detect ? 1 : 0);
 
   FtTrainer trainer(flow);
+  ObsObserver obs_observer;
+  if (obs_on) trainer.add_observer(&obs_observer);
   const TrainingResult r = trainer.train(net, &rcs, data, Rng(seed + 3));
 
   for (std::size_t i = 0; i < r.eval_iterations.size(); ++i) {
@@ -145,6 +166,26 @@ int main(int argc, char** argv) {
   for (const auto& ph : r.phases) {
     std::printf("phase @%zu: precision %.2f recall %.2f cycles %zu\n",
                 ph.iteration, ph.precision, ph.recall, ph.cycles);
+  }
+
+  if (obs_on) {
+    std::printf("\n%s", obs_observer.timing_table().c_str());
+  }
+  if (!metrics_out.empty()) {
+    std::ofstream os(metrics_out);
+    if (metrics_out.size() >= 4 &&
+        metrics_out.compare(metrics_out.size() - 4, 4, ".csv") == 0) {
+      obs::MetricsRegistry::instance().write_csv(os);
+    } else {
+      obs::MetricsRegistry::instance().write_json(os);
+    }
+    std::printf("metrics snapshot written to %s\n", metrics_out.c_str());
+  }
+  if (!trace_out.empty()) {
+    std::ofstream os(trace_out);
+    obs::Tracer::global().write_chrome_json(os);
+    std::printf("trace written to %s (load in ui.perfetto.dev)\n",
+                trace_out.c_str());
   }
   return 0;
 }

@@ -1,23 +1,48 @@
 // Quickstart: train a small neural network *on simulated RRAM crossbars*
 // with the complete fault-tolerant flow, in ~40 lines of user code.
 //
-//   build/examples/quickstart
+//   build/examples/quickstart [--trace-out=FILE] [--metrics-out=FILE]
 //
 // What it shows:
 //   1. building a dataset and a network whose weight matrices live on
 //      crossbar tiles (RcsSystem::factory),
 //   2. configuring the fault-tolerant trainer (threshold training +
 //      periodic on-line detection + re-mapping),
-//   3. reading back the accuracy trace and endurance statistics.
+//   3. reading back the accuracy trace and endurance statistics,
+//   4. optionally capturing a Perfetto trace + metrics snapshot
+//      (docs/observability.md). REFIT_FAST=1 shortens the run for smoke
+//      tests.
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
 
 #include "core/ft_trainer.hpp"
+#include "core/obs_observer.hpp"
 #include "data/synthetic.hpp"
 #include "nn/models.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 using namespace refit;
 
-int main() {
+int main(int argc, char** argv) {
+  std::string trace_out, metrics_out;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--trace-out=", 0) == 0) {
+      trace_out = arg.substr(12);
+    } else if (arg.rfind("--metrics-out=", 0) == 0) {
+      metrics_out = arg.substr(14);
+    } else {
+      std::fprintf(stderr, "ignoring unknown argument '%s'\n", arg.c_str());
+    }
+  }
+  const bool obs_on = !trace_out.empty() || !metrics_out.empty();
+  if (obs_on) obs::MetricsRegistry::instance().set_enabled(true);
+  if (!trace_out.empty()) obs::Tracer::global().set_enabled(true);
+  const bool fast = std::getenv("REFIT_FAST") != nullptr;
+
   // A 10-class MNIST-like task, synthesized deterministically.
   SyntheticConfig data_cfg;
   data_cfg.train_size = 2048;
@@ -38,15 +63,17 @@ int main() {
 
   // The full fault-tolerant on-line training flow (paper Fig. 2).
   FtFlowConfig flow;
-  flow.iterations = 1000;
+  flow.iterations = fast ? 250 : 1000;
   flow.batch_size = 8;
   flow.threshold_training = true;   // §5.1: skip writes below 1% of max δw
   flow.detection_enabled = true;    // §4: quiescent-voltage testing…
-  flow.detection_period = 250;      // …every 250 iterations
+  flow.detection_period = fast ? 100 : 250;  // …every 250 iterations
   flow.prune.enabled = true;        // §5.2: pruning +
   flow.remap_enabled = true;        // …neuron re-ordering
 
   FtTrainer trainer(flow);
+  ObsObserver obs_observer;
+  if (obs_on) trainer.add_observer(&obs_observer);
   const TrainingResult result = trainer.train(net, &rcs, data, Rng(3));
 
   std::printf("accuracy trace:\n");
@@ -67,6 +94,18 @@ int main() {
         "remap cost %.0f -> %.0f\n",
         ph.iteration, ph.cycles, ph.precision, ph.recall,
         ph.remap_cost_before, ph.remap_cost_after);
+  }
+
+  if (obs_on) {
+    std::printf("\n%s", obs_observer.timing_table().c_str());
+  }
+  if (!metrics_out.empty()) {
+    std::ofstream os(metrics_out);
+    obs::MetricsRegistry::instance().write_json(os);
+  }
+  if (!trace_out.empty()) {
+    std::ofstream os(trace_out);
+    obs::Tracer::global().write_chrome_json(os);
   }
   return 0;
 }

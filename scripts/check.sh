@@ -5,6 +5,8 @@
 #   lint        refit-lint static analysis over src/tests/bench/examples/tools
 #   audit       refit-audit cross-TU analysis diffed against its baseline
 #   bench-smoke figure-reproduction benches end to end under REFIT_FAST=1
+#   obs-smoke   quickstart with --trace-out/--metrics-out; both outputs must
+#               be valid JSON with the expected top-level shape
 #   asan-ubsan  full suite under AddressSanitizer + UBSan
 #   tsan        parallel-backend tests under ThreadSanitizer (REFIT_THREADS=4)
 #
@@ -69,6 +71,34 @@ for b in fig1_motivation fig6_detection fig7a_entire_cnn fig7b_fc_only; do
   fi
 done
 record bench-smoke $bench_rc
+
+banner "obs-smoke: trace + metrics capture through quickstart"
+obs_rc=1
+obs_dir=$(mktemp -d)
+if REFIT_FAST=1 ./build/examples/quickstart \
+     "--trace-out=$obs_dir/trace.json" \
+     "--metrics-out=$obs_dir/metrics.json" > /dev/null &&
+   python3 - "$obs_dir" <<'EOF'
+import json, sys
+d = sys.argv[1]
+trace = json.load(open(d + "/trace.json"))
+assert isinstance(trace["traceEvents"], list) and trace["traceEvents"], \
+    "trace has no events"
+phases = [e for e in trace["traceEvents"] if e["cat"] == "phase"]
+assert phases, "no phase spans in trace"
+metrics = json.load(open(d + "/metrics.json"))
+names = [m["name"] for m in metrics["metrics"]]
+assert names == sorted(names), "metrics snapshot not sorted"
+for want in ("engine.iterations", "store.writes", "pool.parallel_for.calls"):
+    assert want in names, "missing metric " + want
+print("  trace events:", len(trace["traceEvents"]),
+      "| phase spans:", len(phases), "| metrics:", len(names))
+EOF
+then
+  obs_rc=0
+fi
+rm -rf "$obs_dir"
+record obs-smoke $obs_rc
 
 banner "asan-ubsan: full test suite under ASan + UBSan"
 asan_rc=1

@@ -1,12 +1,21 @@
-// Leveled stderr logger (see log.hpp).
+// Leveled stderr logger (see log.hpp). The level is a relaxed atomic and
+// emission builds each line into one string written under a mutex, so
+// concurrent workers' lines interleave whole-line, never mid-line.
 #include "common/log.hpp"
 
+#include <atomic>
 #include <iostream>
+#include <mutex>
 
 namespace refit {
 
 namespace {
-LogLevel g_level = LogLevel::kInfo;
+std::atomic<LogLevel> g_level{LogLevel::kInfo};
+
+std::mutex& log_mutex() {
+  static std::mutex mu;
+  return mu;
+}
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -23,12 +32,25 @@ const char* level_name(LogLevel level) {
 }
 }  // namespace
 
-void set_log_level(LogLevel level) { g_level = level; }
-LogLevel log_level() { return g_level; }
+void set_log_level(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
+
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
 
 namespace detail {
 void log_line(LogLevel level, const std::string& msg) {
-  std::cerr << "[" << level_name(level) << "] " << msg << "\n";
+  std::string line;
+  line.reserve(msg.size() + 16);
+  line += "[";
+  line += level_name(level);
+  line += "] ";
+  line += msg;
+  line += "\n";
+  // One pre-built string, one insertion, under the mutex: a line can never
+  // tear even if the stream itself buffers per-call.
+  std::lock_guard<std::mutex> lk(log_mutex());
+  std::cerr << line;
 }
 }  // namespace detail
 

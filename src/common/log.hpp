@@ -3,6 +3,11 @@
 // Experiments print their data through SeriesPrinter; the logger is for
 // progress/diagnostic lines and defaults to kInfo on stderr so data on
 // stdout stays clean.
+//
+// Thread safety: the level is an atomic (set/read from any thread) and
+// line emission is serialized behind a mutex, so concurrent REFIT_LOG
+// calls from pool workers never tear into each other — each line reaches
+// stderr whole (tests/test_csv_log.cpp hammers this).
 #pragma once
 
 #include <sstream>
@@ -12,7 +17,7 @@ namespace refit {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
 
-/// Set the global minimum level (thread-unsafe by design: set once at start).
+/// Set the global minimum level (atomic; callable from any thread).
 void set_log_level(LogLevel level);
 LogLevel log_level();
 

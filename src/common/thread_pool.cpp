@@ -1,4 +1,11 @@
 // Persistent worker pool behind refit::parallel_for (see thread_pool.hpp).
+//
+// Telemetry (docs/observability.md): every top-level parallel_for bumps
+// the pool.parallel_for.calls counter and records a trace span on the
+// calling thread; each worker accumulates pool.worker.<lane>.busy_ns.
+// Spans are recorded only on the caller and busy time only inside
+// worker_loop, so traces taken with an injected ManualClock are
+// byte-identical at any thread count.
 #include "common/thread_pool.hpp"
 
 #include <algorithm>
@@ -6,13 +13,27 @@
 #include <memory>
 #include <string>
 
+#include "obs/clock.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace refit {
 
 namespace {
 
 // True on threads currently executing a pool chunk; parallel_for on such a
-// thread runs inline instead of fanning out again.
+// thread runs inline instead of fanning out again. Also held on the
+// *caller* while it executes its own chunk (inline or lane 0), which (a)
+// keeps nested parallel_for calls inline — fanning out mid-job would
+// corrupt the pending job — and (b) keeps nested calls span-free on every
+// path, so traces do not depend on the thread count.
 thread_local bool t_inside_pool = false;
+
+// Scoped t_inside_pool (exception-safe restore).
+struct InsidePoolGuard {
+  InsidePoolGuard() { t_inside_pool = true; }
+  ~InsidePoolGuard() { t_inside_pool = false; }
+};
 
 std::size_t default_thread_count() {
   if (const char* env = std::getenv("REFIT_THREADS")) {
@@ -58,6 +79,9 @@ void ThreadPool::run_chunk(std::size_t lane) {
 
 void ThreadPool::worker_loop(std::size_t lane) {
   t_inside_pool = true;
+  obs::Tracer::set_thread_tid(static_cast<std::uint32_t>(lane));
+  obs::Counter busy_ns = obs::MetricsRegistry::instance().counter(
+      "pool.worker." + std::to_string(lane) + ".busy_ns", "ns");
   std::uint64_t seen = 0;
   for (;;) {
     {
@@ -67,11 +91,14 @@ void ThreadPool::worker_loop(std::size_t lane) {
       seen = generation_;
     }
     std::exception_ptr err;
+    const bool timed = obs::metrics_enabled();
+    const std::uint64_t t0 = timed ? obs::now_ns() : 0;
     try {
       run_chunk(lane);
     } catch (...) {
       err = std::current_exception();
     }
+    if (timed) busy_ns.add(obs::now_ns() - t0);
     {
       std::lock_guard<std::mutex> lk(mu_);
       if (err && !job_error_) job_error_ = err;
@@ -83,9 +110,20 @@ void ThreadPool::worker_loop(std::size_t lane) {
 void ThreadPool::parallel_for(
     std::size_t n, const std::function<void(std::size_t, std::size_t)>& body) {
   if (n == 0) return;
-  // Serial fallback: 1-lane pool, nested call from a worker, or a range too
-  // small to split. Runs the exact same chunk math (one chunk = [0, n)).
-  if (workers_.empty() || t_inside_pool || n == 1) {
+  // Nested call from inside a pool chunk: always inline, never measured —
+  // the outer call owns the job slots and the trace span.
+  if (t_inside_pool) {
+    body(0, n);
+    return;
+  }
+  static obs::Counter calls = obs::MetricsRegistry::instance().counter(
+      "pool.parallel_for.calls", "calls");
+  calls.add();
+  obs::TraceSpan span("parallel_for", "pool");
+  // Serial fallback: 1-lane pool or a range too small to split. Runs the
+  // exact same chunk math (one chunk = [0, n)).
+  if (workers_.empty() || n == 1) {
+    InsidePoolGuard guard;
     body(0, n);
     return;
   }
@@ -100,6 +138,7 @@ void ThreadPool::parallel_for(
   start_cv_.notify_all();
   std::exception_ptr err;
   try {
+    InsidePoolGuard guard;
     run_chunk(0);
   } catch (...) {
     err = std::current_exception();

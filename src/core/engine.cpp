@@ -9,6 +9,7 @@
 #include "common/log.hpp"
 #include "common/serialize.hpp"
 #include "nn/loss.hpp"
+#include "obs/metrics.hpp"
 
 namespace refit {
 
@@ -91,6 +92,13 @@ void DetectionPhase::run(EngineContext& ctx) {
   }
   ev.precision = confusion.precision();
   ev.recall = confusion.recall();
+  // Per-round detection quality gauges (docs/observability.md).
+  static obs::Gauge precision_gauge =
+      obs::MetricsRegistry::instance().gauge("detector.precision");
+  static obs::Gauge recall_gauge =
+      obs::MetricsRegistry::instance().gauge("detector.recall");
+  precision_gauge.set(ev.precision);
+  recall_gauge.set(ev.recall);
 
   // "Generate pruning": compute the masks from the off-chip target weights
   // *before* any read-back, so the mask reflects functional importance (the

@@ -8,6 +8,7 @@ namespace refit {
 TrainingResult FtTrainer::train(Network& net, RcsSystem* rcs,
                                 const Dataset& data, Rng rng) {
   FtEngine engine(cfg_);
+  for (EngineObserver* obs : observers_) engine.add_observer(obs);
   return engine.run(net, rcs, data, rng);
 }
 

@@ -9,6 +9,8 @@
 //   ideal (no faults) ....... any config with a software-backed network
 #pragma once
 
+#include <vector>
+
 #include "core/engine.hpp"
 
 namespace refit {
@@ -22,6 +24,13 @@ class FtTrainer {
   explicit FtTrainer(FtFlowConfig cfg) : cfg_(cfg) {}
 
   [[nodiscard]] const FtFlowConfig& config() const { return cfg_; }
+
+  /// Register a tracing observer, forwarded to the engine each train()
+  /// call (non-owning; must outlive the run). The CLIs attach an
+  /// ObsObserver (core/obs_observer.hpp) here.
+  void add_observer(EngineObserver* obs) {
+    if (obs != nullptr) observers_.push_back(obs);
+  }
 
   /// Train `net` on `data`. `rcs` may be nullptr for an all-software
   /// network (the ideal baseline); when given, it must be the system whose
@@ -39,6 +48,7 @@ class FtTrainer {
 
  private:
   FtFlowConfig cfg_;
+  std::vector<EngineObserver*> observers_;
 };
 
 }  // namespace refit

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "detect/decoder.hpp"
+#include "obs/metrics.hpp"
 
 namespace refit {
 
@@ -112,6 +113,7 @@ void QuiescentVoltageDetector::run_pass(
       }
       if (seg.cells.empty()) continue;  // nothing testable in this segment
       const double measured = xbar.sum_conductance_rows(group, c);
+      ++out.adc_reads;
       seg.residue = residue_of(expected, measured);
       din.row_segments.push_back(std::move(seg));
     }
@@ -139,6 +141,7 @@ void QuiescentVoltageDetector::run_pass(
       }
       if (seg.cells.empty()) continue;
       const double measured = xbar.sum_conductance_cols(group, r);
+      ++out.adc_reads;
       seg.residue = residue_of(expected, measured);
       din.col_segments.push_back(std::move(seg));
     }
@@ -191,6 +194,21 @@ DetectionOutcome QuiescentVoltageDetector::detect(Crossbar& xbar) const {
     run_pass(xbar, static_cast<int>(xbar.config().levels) - 1, /*pulse=*/-1,
              stored, out.predicted, out);
   }
+  // Telemetry (docs/observability.md). detect() runs on pool lanes when
+  // fanned out by detect_store; the handles are relaxed atomics, so the
+  // totals are exact (and deterministic) at any thread count.
+  static obs::Counter cycles_metric =
+      obs::MetricsRegistry::instance().counter("detector.cycles", "cycles");
+  static obs::Counter cells_metric = obs::MetricsRegistry::instance().counter(
+      "detector.cells_tested", "cells");
+  static obs::Counter pulses_metric =
+      obs::MetricsRegistry::instance().counter("detector.pulses", "writes");
+  static obs::Counter adc_metric =
+      obs::MetricsRegistry::instance().counter("detector.adc_reads", "reads");
+  cycles_metric.add(out.cycles);
+  cells_metric.add(out.cells_tested);
+  pulses_metric.add(out.device_writes);
+  adc_metric.add(out.adc_reads);
   return out;
 }
 
@@ -219,7 +237,11 @@ DetectionOutcome QuiescentVoltageDetector::detect_store(
     out.cycles += tile_out[t].cycles;
     out.cells_tested += tile_out[t].cells_tested;
     out.device_writes += tile_out[t].device_writes;
+    out.adc_reads += tile_out[t].adc_reads;
   }
+  static obs::Counter rounds_metric =
+      obs::MetricsRegistry::instance().counter("detector.rounds", "rounds");
+  rounds_metric.add();
   store.invalidate();
   return out;
 }

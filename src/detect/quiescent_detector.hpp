@@ -56,6 +56,7 @@ struct DetectionOutcome {
   std::size_t cycles = 0;          ///< voltage-application cycles
   std::size_t cells_tested = 0;    ///< candidate cells pulsed
   std::uint64_t device_writes = 0; ///< ±δw pulses issued (endurance cost)
+  std::uint64_t adc_reads = 0;     ///< group read-outs digitized by the ADC
 };
 
 /// The quiescent-voltage comparison detector.

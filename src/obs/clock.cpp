@@ -1,0 +1,51 @@
+// Clock seam implementation (see clock.hpp): the steady default, the
+// deterministic ManualClock, and the process-wide installation point.
+#include "obs/clock.hpp"
+
+#include <atomic>
+#include <chrono>
+
+namespace refit::obs {
+
+std::uint64_t SteadyClock::now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+std::uint64_t ManualClock::now_ns() {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::uint64_t& n = calls_[std::this_thread::get_id()];
+  ++n;
+  return base_ + n * step_;
+}
+
+namespace {
+
+SteadyClock& steady_clock_instance() {
+  static SteadyClock clock;
+  return clock;
+}
+
+// The installed clock. Atomic so a handful of readers racing a (test-only)
+// install never see a torn pointer; ordering is irrelevant because the
+// contract is "install while quiescent".
+std::atomic<Clock*>& clock_slot() {
+  static std::atomic<Clock*> slot{nullptr};
+  return slot;
+}
+
+}  // namespace
+
+void set_clock(Clock* clock) {
+  clock_slot().store(clock, std::memory_order_release);
+}
+
+std::uint64_t now_ns() {
+  Clock* clock = clock_slot().load(std::memory_order_acquire);
+  if (clock == nullptr) clock = &steady_clock_instance();
+  return clock->now_ns();
+}
+
+}  // namespace refit::obs

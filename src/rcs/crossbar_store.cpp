@@ -9,10 +9,15 @@
 #include <utility>
 
 #include "common/serialize.hpp"
+#include "obs/metrics.hpp"
 
 namespace refit {
 
 namespace {
+
+// Process-global telemetry shared by every store instance (catalogue in
+// docs/observability.md). The handles are function-local statics at the
+// call sites; increments are relaxed atomics, safe from pool lanes.
 
 double rms(const Tensor& t) {
   double s = 0.0;
@@ -106,6 +111,12 @@ void CrossbarWeightStore::write_logical(std::size_t i, std::size_t j) {
   const std::size_t f0 = xb.fault_count();
   const std::size_t wo0 = xb.wearout_fault_count();
   xb.write(tc.lr, tc.lc, std::fabs(target_.at(i, j)) / weight_max_);
+  static obs::Counter writes_metric =
+      obs::MetricsRegistry::instance().counter("store.writes", "writes");
+  static obs::Counter wearout_metric = obs::MetricsRegistry::instance().counter(
+      "store.wearout_faults", "faults");
+  writes_metric.add(xb.total_writes() - w0);
+  wearout_metric.add(xb.wearout_fault_count() - wo0);
   writes_agg_ += xb.total_writes() - w0;
   faults_agg_ += xb.fault_count() - f0;
   wearout_agg_ += xb.wearout_fault_count() - wo0;
@@ -164,6 +175,12 @@ void CrossbarWeightStore::rebuild_effective() {
   for (std::size_t t = 0; t < tiles_.size(); ++t) {
     if (tile_dirty_[t] != 0) dirty.push_back(t);
   }
+  static obs::Counter rebuilds_metric =
+      obs::MetricsRegistry::instance().counter("store.rebuilds", "rebuilds");
+  static obs::Counter rebuild_tiles_metric =
+      obs::MetricsRegistry::instance().counter("store.rebuild_tiles", "tiles");
+  rebuilds_metric.add();
+  rebuild_tiles_metric.add(dirty.size());
   grid_.for_each_tile(dirty, [&](const TileSpan& span) {
     rebuild_tile(span);
     tile_dirty_[span.index] = 0;
@@ -251,6 +268,12 @@ void CrossbarWeightStore::pulse_physical(std::size_t r, std::size_t c,
   const std::size_t f0 = xb.fault_count();
   const std::size_t wo0 = xb.wearout_fault_count();
   xb.write(tc.lr, tc.lc, xb.conductance(tc.lr, tc.lc) + delta_g);
+  static obs::Counter writes_metric =
+      obs::MetricsRegistry::instance().counter("store.writes", "writes");
+  static obs::Counter wearout_metric = obs::MetricsRegistry::instance().counter(
+      "store.wearout_faults", "faults");
+  writes_metric.add(xb.total_writes() - w0);
+  wearout_metric.add(xb.wearout_fault_count() - wo0);
   writes_agg_ += xb.total_writes() - w0;
   faults_agg_ += xb.fault_count() - f0;
   wearout_agg_ += xb.wearout_fault_count() - wo0;

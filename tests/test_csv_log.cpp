@@ -1,10 +1,16 @@
-// Tests for the CSV series printer and the logger.
+// Tests for the CSV series printer and the logger — including the
+// logger's thread-safety contract: concurrent REFIT_LOG calls from pool
+// workers must emit whole lines (no interleaving mid-line).
 #include <gtest/gtest.h>
 
+#include <iostream>
 #include <sstream>
+#include <string>
+#include <vector>
 
 #include "common/csv.hpp"
 #include "common/log.hpp"
+#include "common/thread_pool.hpp"
 
 namespace refit {
 namespace {
@@ -61,6 +67,46 @@ TEST(Log, MacroCompilesAndRespectsLevel) {
   REFIT_INFO("info " << 2);
   REFIT_WARN("warn " << 3);
   set_log_level(saved);
+}
+
+TEST(Log, ConcurrentLogLinesNeverInterleave) {
+  const LogLevel saved = log_level();
+  set_log_level(LogLevel::kInfo);
+  // Capture stderr, hammer the logger from 8 pool workers, and require
+  // that every captured line is one whole log message.
+  std::ostringstream captured;
+  std::streambuf* old = std::cerr.rdbuf(captured.rdbuf());
+  ThreadPool::set_global_threads(8);
+  constexpr std::size_t kLines = 256;
+  ThreadPool::global().parallel_for(
+      kLines, [](std::size_t b, std::size_t e) {
+        for (std::size_t i = b; i < e; ++i) {
+          REFIT_INFO("line-" << i << "-end");
+        }
+      });
+  std::cerr.rdbuf(old);
+  ThreadPool::set_global_threads(1);
+  set_log_level(saved);
+
+  std::istringstream in(captured.str());
+  std::string line;
+  std::size_t seen = 0;
+  std::vector<bool> hit(kLines, false);
+  while (std::getline(in, line)) {
+    ++seen;
+    // Exactly "[INFO] line-<i>-end" — any torn write breaks the shape.
+    ASSERT_EQ(line.rfind("[INFO] line-", 0), 0u) << "torn line: " << line;
+    const std::string tail = "-end";
+    ASSERT_EQ(line.compare(line.size() - tail.size(), tail.size(), tail), 0)
+        << "torn line: " << line;
+    const std::string num =
+        line.substr(12, line.size() - 12 - tail.size());
+    const std::size_t i = std::stoul(num);
+    ASSERT_LT(i, kLines);
+    EXPECT_FALSE(hit[i]) << "line " << i << " logged twice";
+    hit[i] = true;
+  }
+  EXPECT_EQ(seen, kLines);
 }
 
 }  // namespace

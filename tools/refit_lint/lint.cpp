@@ -54,14 +54,16 @@ const std::set<std::string> kAssignOps = {"=",  "+=", "-=",  "*=",  "/=",
 /// per-module CMakeLists and the diagram in docs/architecture.md.
 const std::map<std::string, std::set<std::string>>& layer_deps() {
   static const std::map<std::string, std::set<std::string>> kDeps = {
-      {"common", {}},
-      {"tensor", {"common"}},
-      {"nn", {"common", "tensor"}},
-      {"rram", {"common"}},
-      {"data", {"common", "tensor"}},
-      {"rcs", {"common", "tensor", "nn", "rram"}},
-      {"detect", {"common", "tensor", "nn", "rram", "rcs"}},
-      {"core", {"common", "tensor", "nn", "rram", "rcs", "data", "detect"}},
+      {"obs", {}},
+      {"common", {"obs"}},
+      {"tensor", {"common", "obs"}},
+      {"nn", {"common", "tensor", "obs"}},
+      {"rram", {"common", "obs"}},
+      {"data", {"common", "tensor", "obs"}},
+      {"rcs", {"common", "tensor", "nn", "rram", "obs"}},
+      {"detect", {"common", "tensor", "nn", "rram", "rcs", "obs"}},
+      {"core",
+       {"common", "tensor", "nn", "rram", "rcs", "data", "detect", "obs"}},
   };
   return kDeps;
 }
@@ -105,6 +107,10 @@ const std::vector<RuleInfo>& rules() {
       {"layering",
        "an #include pointing against the module dependency order (e.g. "
        "src/detect including core/, src/rcs including detect/)"},
+      {"obs-timing",
+       "std::chrono::steady_clock / high_resolution_clock in src/ outside "
+       "src/obs — take timestamps through refit::obs::now_ns() or "
+       "obs::Stopwatch so the Clock seam stays the single time source"},
   };
   return kRules;
 }
@@ -117,9 +123,18 @@ std::vector<Finding> lint_source(const std::string& path,
 
   const bool is_header = ends_with(path, ".hpp") || ends_with(path, ".h") ||
                          ends_with(path, ".hh");
-  const bool owns_threads = path_contains(path, "common/thread_pool");
+  const std::string mod = module_of_path(path);
+  // common/log serializes output with a mutex; the obs layer owns the
+  // atomics/mutexes behind the metrics registry and the tracer.
+  const bool owns_threads = path_contains(path, "common/thread_pool") ||
+                            path_contains(path, "common/log") ||
+                            path_contains(path, "src/obs/");
   const bool owns_rng = path_contains(path, "common/rng");
   const bool owns_tiles = path_contains(path, "rcs/crossbar_store");
+  // src/obs is the only module allowed to read a raw std::chrono clock —
+  // everything else must go through the Clock seam (obs/clock.hpp) so
+  // golden traces stay deterministic under ManualClock.
+  const bool owns_clocks = mod.empty() || mod == "obs";
 
   std::vector<Finding> findings;
   auto report = [&](const std::string& rule, int line,
@@ -167,7 +182,6 @@ std::vector<Finding> lint_source(const std::string& path,
 
   // --- layering -------------------------------------------------------------
   {
-    const std::string mod = module_of_path(path);
     if (!mod.empty()) {
       const std::set<std::string>& allowed = layer_deps().at(mod);
       for (const PpLine& pp : lx.pp_lines) {
@@ -268,6 +282,18 @@ std::vector<Finding> lint_source(const std::string& path,
                      "invalidate() afterwards to resync the cached "
                      "effective weights and O(1) counters");
       }
+    }
+
+    // Raw std::chrono clocks in src/ outside obs. Matching the bare
+    // identifier also catches `using std::chrono::steady_clock` and
+    // namespace-alias spellings.
+    if (!owns_clocks && (tok.text == "steady_clock" ||
+                         tok.text == "high_resolution_clock")) {
+      report("obs-timing", tok.line,
+             "std::chrono::" + tok.text +
+                 " outside src/obs — take timestamps through "
+                 "refit::obs::now_ns() or obs::Stopwatch so ManualClock "
+                 "test runs stay deterministic");
     }
 
     // using namespace in headers.

@@ -113,9 +113,25 @@ TEST(RefitLint, PathExemptionsApply) {
   const std::string rng_src = "// rng impl\nint x = rand();\n";
   EXPECT_TRUE(refit::lint::lint_source("src/common/rng.cpp", rng_src).empty());
 
+  // common/log serializes with a mutex; src/obs owns both its own
+  // synchronization and the raw std::chrono clocks behind the Clock seam.
+  const std::string mutex_src = "// impl\n#include <mutex>\nstd::mutex m;\n";
+  EXPECT_TRUE(
+      refit::lint::lint_source("src/common/log.cpp", mutex_src).empty());
+  EXPECT_TRUE(
+      refit::lint::lint_source("src/obs/metrics.cpp", mutex_src).empty());
+  const std::string clock_src =
+      "// impl\nauto t = std::chrono::steady_clock::now();\n";
+  EXPECT_TRUE(
+      refit::lint::lint_source("src/obs/clock.cpp", clock_src).empty());
+  // Files outside src/ (tests, benches) may read clocks directly.
+  EXPECT_TRUE(refit::lint::lint_source("tests/x.cpp", clock_src).empty());
+
   // The same sources elsewhere are violations.
   EXPECT_FALSE(refit::lint::lint_source("src/nn/dense.cpp", pool_src).empty());
   EXPECT_FALSE(refit::lint::lint_source("src/nn/dense.cpp", rng_src).empty());
+  EXPECT_FALSE(
+      refit::lint::lint_source("src/nn/dense.cpp", clock_src).empty());
 }
 
 TEST(RefitLint, FileWideSuppression) {

@@ -1,0 +1,14 @@
+// Fixture: src/obs is the one module allowed to read std::chrono clocks
+// (it implements the Clock seam) and to use mutexes/atomics directly (the
+// registry and tracer own their synchronization). Must lint clean.
+#include <chrono>
+#include <mutex>
+
+#include "obs/clock.hpp"
+
+std::mutex g_mu;
+
+unsigned long long raw_now() {
+  return static_cast<unsigned long long>(
+      std::chrono::steady_clock::now().time_since_epoch().count());
+}
