@@ -1,11 +1,25 @@
-// Micro-benchmark for the parallel compute backend (common/thread_pool.hpp).
+// Micro-benchmark for the parallel compute backend (common/thread_pool.hpp)
+// and the packed GEMM / fused faulty-forward kernels (tensor/gemm.hpp,
+// rcs/crossbar_store.hpp).
 //
-// Times the pooled tensor kernels and the incremental effective-weight
-// rebuild against the serial (1-thread) path at several shapes and thread
-// counts, verifies the pooled outputs are bit-identical to serial, and
-// writes the results as JSON (default ./BENCH_backend.json, override with
-// REFIT_BENCH_OUT). Thread counts come from REFIT_BENCH_THREADS (comma
-// list, default "1,2,4"); REFIT_FAST=1 shrinks repetitions.
+// Times the pooled tensor kernels against (a) the serial 1-thread path and
+// (b) serial copies of the pre-blocking naive kernels, the incremental
+// effective-weight rebuild, and the fused faulty forward against
+// materialize-then-matmul; verifies pooled outputs are bit-identical to
+// serial; and writes the results as JSON (default ./BENCH_backend.json,
+// override with REFIT_BENCH_OUT). Thread counts come from
+// REFIT_BENCH_THREADS (comma list, default "1,2,4"); REFIT_FAST=1 shrinks
+// repetitions.
+//
+// GEMM-shaped rows carry achieved GFLOP/s and a roofline-style
+// fraction-of-peak column, where "peak" is measured in-process by a
+// register-resident multiply-add probe (same compiler, same flags, no
+// memory traffic) — see docs/kernels.md for how to read these. The JSON
+// header records hardware provenance; when the host has fewer hardware
+// threads than the bench was asked to scale to, scaling rows are marked
+// "scaling_valid": false and a loud warning is printed (the seed's numbers
+// were recorded on a 1-core host, which silently invalidated every
+// scaling figure).
 //
 // The rebuild rows cover the three regimes that matter for training:
 //   rebuild_full        — every tile dirty (the seed's only mode),
@@ -15,6 +29,7 @@
 //   rebuild_tile_local  — a delta confined to one tile (detection repair,
 //                         column-repair writes): the pure algorithmic win.
 #include <algorithm>
+#include <cstdint>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
@@ -31,6 +46,7 @@
 #include "common/thread_pool.hpp"
 #include "obs/clock.hpp"
 #include "rcs/crossbar_store.hpp"
+#include "tensor/gemm.hpp"
 #include "tensor/ops.hpp"
 
 namespace {
@@ -59,6 +75,9 @@ struct Row {
   double seconds;
   double speedup_vs_serial;
   bool bit_identical;
+  double gflops = 0.0;            ///< 0 for rows without a FLOP count
+  double frac_peak = 0.0;         ///< gflops / measured single-thread peak
+  double speedup_vs_naive = 0.0;  ///< 0 for rows without a naive baseline
 };
 
 std::vector<std::size_t> thread_counts() {
@@ -77,6 +96,157 @@ std::vector<std::size_t> thread_counts() {
 bool same_bits(const Tensor& a, const Tensor& b) {
   return a.shape() == b.shape() &&
          std::memcmp(a.data(), b.data(), a.numel() * sizeof(float)) == 0;
+}
+
+// ---- Provenance -----------------------------------------------------------
+
+std::string cpu_model() {
+  std::ifstream is("/proc/cpuinfo");
+  std::string line;
+  while (std::getline(is, line)) {
+    const auto pos = line.find("model name");
+    if (pos == std::string::npos) continue;
+    const auto colon = line.find(':');
+    if (colon == std::string::npos) break;
+    std::string name = line.substr(colon + 1);
+    const auto first = name.find_first_not_of(" \t");
+    return first == std::string::npos ? name : name.substr(first);
+  }
+  return "unknown";
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+/// FNV-1a 64-bit over the tensor's float bytes — the deterministic-mode
+/// golden hash asserted by the bench-smoke CI stage.
+std::uint64_t fnv1a64(const Tensor& t) {
+  std::uint64_t h = 1469598103934665603ULL;
+  const auto* p = reinterpret_cast<const unsigned char*>(t.data());
+  for (std::size_t i = 0; i < t.numel() * sizeof(float); ++i) {
+    h ^= p[i];
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+// ---- Measured peak --------------------------------------------------------
+
+/// Register-resident multiply-add probe: 64 independent accumulators, each
+/// element a dependent acc = acc*m + c chain whose latency is hidden by
+/// the 64-way parallelism. 2 flops per element per iteration, no memory
+/// traffic — the compute ceiling of this compiler+flags+CPU combination.
+double measured_peak_gflops(int reps) {
+  constexpr std::size_t kAcc = 64;
+  constexpr std::size_t kIters = 1 << 18;
+  float acc[kAcc];
+  float mul[kAcc];
+  float add[kAcc];
+  for (std::size_t i = 0; i < kAcc; ++i) {
+    acc[i] = 1.0f + 1e-6f * static_cast<float>(i);
+    mul[i] = 0.999999f;
+    add[i] = 1e-7f * static_cast<float>(i + 1);
+  }
+  double best = 1e300;
+  float sink = 0.0f;
+  for (int r = 0; r < reps; ++r) {
+    refit::obs::Stopwatch sw;
+    for (std::size_t it = 0; it < kIters; ++it) {
+      for (std::size_t i = 0; i < kAcc; ++i) acc[i] = acc[i] * mul[i] + add[i];
+    }
+    best = std::min(best, sw.seconds());
+    for (std::size_t i = 0; i < kAcc; ++i) sink += acc[i];
+  }
+  // Keep the accumulators observable so the loop cannot be elided.
+  if (sink == 12345.678f) std::cout << "";
+  return 2.0 * static_cast<double>(kAcc) * static_cast<double>(kIters) /
+         (best * 1e9);
+}
+
+// ---- Naive GEMM baselines (serial copies of the pre-blocking kernels) -----
+//
+// Pinned to -O2: the pre-blocking kernels shipped in a library built at -O2,
+// and GCC's -O3 vectorizer would otherwise flatter these baselines beyond
+// what the replaced code ever achieved.
+#if defined(__GNUC__) && !defined(__clang__)
+#define REFIT_BASELINE_OPT __attribute__((optimize("O2")))
+#else
+#define REFIT_BASELINE_OPT
+#endif
+
+REFIT_BASELINE_OPT
+Tensor naive_matmul(const Tensor& a, const Tensor& b) {
+  const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  Tensor c({m, n});
+  for (std::size_t i = 0; i < m; ++i) {
+    const float* arow = a.data() + i * k;
+    float* crow = c.data() + i * n;
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      const float av = arow[kk];
+      if (av == 0.0f) continue;
+      const float* brow = b.data() + kk * n;
+      for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+  return c;
+}
+
+REFIT_BASELINE_OPT
+Tensor naive_matmul_tn(const Tensor& a, const Tensor& b) {
+  const std::size_t k = a.dim(0), m = a.dim(1), n = b.dim(1);
+  Tensor c({m, n});
+  for (std::size_t i = 0; i < m; ++i) {
+    float* crow = c.data() + i * n;
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      const float av = a.data()[kk * m + i];
+      if (av == 0.0f) continue;
+      const float* brow = b.data() + kk * n;
+      for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+  return c;
+}
+
+REFIT_BASELINE_OPT
+Tensor naive_matmul_nt(const Tensor& a, const Tensor& b) {
+  const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(0);
+  Tensor c({m, n});
+  for (std::size_t i = 0; i < m; ++i) {
+    const float* arow = a.data() + i * k;
+    float* crow = c.data() + i * n;
+    std::size_t j = 0;
+    for (; j + 4 <= n; j += 4) {
+      const float* b0 = b.data() + j * k;
+      const float* b1 = b.data() + (j + 1) * k;
+      const float* b2 = b.data() + (j + 2) * k;
+      const float* b3 = b.data() + (j + 3) * k;
+      float acc0 = 0.0f, acc1 = 0.0f, acc2 = 0.0f, acc3 = 0.0f;
+      for (std::size_t kk = 0; kk < k; ++kk) {
+        const float av = arow[kk];
+        acc0 += av * b0[kk];
+        acc1 += av * b1[kk];
+        acc2 += av * b2[kk];
+        acc3 += av * b3[kk];
+      }
+      crow[j] = acc0;
+      crow[j + 1] = acc1;
+      crow[j + 2] = acc2;
+      crow[j + 3] = acc3;
+    }
+    for (; j < n; ++j) {
+      const float* brow = b.data() + j * k;
+      float acc = 0.0f;
+      for (std::size_t kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
+      crow[j] = acc;
+    }
+  }
+  return c;
 }
 
 RcsConfig store_config() {
@@ -110,6 +280,20 @@ int main(int argc, char** argv) {
   double sink = 0.0;  // defeats dead-code elimination
 
   const auto threads_list = thread_counts();
+  const std::size_t hw_threads = std::thread::hardware_concurrency();
+  const std::size_t max_threads =
+      *std::max_element(threads_list.begin(), threads_list.end());
+  const bool scaling_valid = hw_threads >= max_threads;
+  if (!scaling_valid) {
+    std::cerr << "*** WARNING: host has " << hw_threads
+              << " hardware thread(s) but the bench scales to " << max_threads
+              << " — every multi-thread speedup below is bounded by "
+                 "oversubscription, not the backend. Treat scaling rows as "
+                 "invalid (\"scaling_valid\": false in the JSON).\n";
+  }
+
+  const double peak_gflops = measured_peak_gflops(reps);
+  std::cout << "measured_peak_gflops=" << peak_gflops << "\n";
 
   // ---- GEMM + conv kernels ------------------------------------------------
   Rng rng(1);
@@ -122,32 +306,133 @@ int main(int argc, char** argv) {
   geom.kernel = 3;
   geom.pad = 1;
 
+  // Deterministic-mode golden hash (the bench-smoke CI ratchet): computed
+  // with the reduction mode pinned so a REFIT_FAST_REDUCE environment
+  // cannot change it, and stable across hosts and thread counts because
+  // the deterministic kernel is bit-exact and Rng is portable.
+  std::uint64_t gemm_hash = 0;
+  {
+    const refit::ReductionMode prev = refit::reduction_mode();
+    refit::set_reduction_mode(refit::ReductionMode::kDeterministic);
+    ThreadPool::set_global_threads(1);
+    gemm_hash = fnv1a64(refit::matmul(a, b));
+    refit::set_reduction_mode(prev);
+  }
+  std::cout << "gemm_output_hash=" << std::hex << gemm_hash << std::dec
+            << "\n";
+
   struct Kernel {
     std::string name;
     std::function<Tensor()> run;
+    double flops;                           // 0 = no FLOP column
+    std::function<Tensor()> naive;          // null = no naive baseline
   };
+  const double gemm_flops = 2.0 * static_cast<double>(n) * n * n;
   std::vector<std::size_t> pool_argmax;
   const std::vector<Kernel> kernels = {
-      {"matmul_512", [&] { return refit::matmul(a, b); }},
-      {"matmul_tn_512", [&] { return refit::matmul_tn(a, b); }},
-      {"matmul_nt_512", [&] { return refit::matmul_nt(a, b); }},
-      {"im2col_b32", [&] { return refit::im2col(img, geom); }},
+      {"matmul_512", [&] { return refit::matmul(a, b); }, gemm_flops,
+       [&] { return naive_matmul(a, b); }},
+      {"matmul_tn_512", [&] { return refit::matmul_tn(a, b); }, gemm_flops,
+       [&] { return naive_matmul_tn(a, b); }},
+      {"matmul_nt_512", [&] { return refit::matmul_nt(a, b); }, gemm_flops,
+       [&] { return naive_matmul_nt(a, b); }},
+      {"im2col_b32", [&] { return refit::im2col(img, geom); }, 0.0, nullptr},
       {"maxpool2d_b32",
-       [&] { return refit::maxpool2d(img, 2, 2, pool_argmax); }},
+       [&] { return refit::maxpool2d(img, 2, 2, pool_argmax); }, 0.0,
+       nullptr},
   };
 
   for (const auto& kern : kernels) {
     ThreadPool::set_global_threads(1);
     const Tensor ref = kern.run();
     const double serial = time_best(reps, [&] { sink += kern.run()[0]; });
+    double naive_serial = 0.0;
+    if (kern.naive) {
+      const Tensor naive_out = kern.naive();
+      // The naive kernels carry the deterministic contract; only compare
+      // bits when the blocked kernel runs in deterministic mode too.
+      const bool det =
+          refit::reduction_mode() == refit::ReductionMode::kDeterministic;
+      naive_serial = time_best(reps, [&] { sink += kern.naive()[0]; });
+      rows.push_back({"naive_" + kern.name, 1, naive_serial, 1.0,
+                      !det || same_bits(ref, naive_out),
+                      kern.flops / (naive_serial * 1e9),
+                      kern.flops / (naive_serial * 1e9) / peak_gflops, 0.0});
+      std::cout << "naive_" << kern.name << " threads=1 " << naive_serial
+                << "s; blocked kernel is " << naive_serial / serial
+                << "x faster single-thread\n";
+    }
     for (const std::size_t t : threads_list) {
       ThreadPool::set_global_threads(t);
       const Tensor pooled = kern.run();
       const double secs = time_best(reps, [&] { sink += kern.run()[0]; });
+      const double gflops =
+          kern.flops > 0.0 ? kern.flops / (secs * 1e9) : 0.0;
       rows.push_back({kern.name, t, secs, serial / secs,
-                      same_bits(ref, pooled)});
+                      same_bits(ref, pooled), gflops,
+                      gflops > 0.0 ? gflops / peak_gflops : 0.0,
+                      naive_serial > 0.0 ? naive_serial / secs : 0.0});
       std::cout << kern.name << " threads=" << t << " " << secs << "s ("
-                << serial / secs << "x)\n";
+                << serial / secs << "x)";
+      if (gflops > 0.0) {
+        std::cout << " " << gflops << " GFLOP/s (" << gflops / peak_gflops
+                  << " of peak)";
+      }
+      std::cout << "\n";
+    }
+  }
+
+  // ---- Fused faulty forward ----------------------------------------------
+  // y = x·W_eff on a faulty 512×512 store: the fused kernel (packed cache,
+  // no effective_ materialization) vs materialize-then-matmul, in the clean
+  // regime (weights unchanged between forwards — inference, fig7 evals)
+  // and the dirty regime (a tile-local delta before every forward).
+  {
+    const std::size_t batch = 64;
+    Rng xrng(5);
+    const Tensor x = Tensor::randn({batch, n}, xrng);
+    const double fwd_flops = 2.0 * static_cast<double>(batch) * n * n;
+    Tensor delta_tile({n, n});
+    delta_tile.at(3, 5) = 1e-4f;
+
+    for (const std::size_t t : threads_list) {
+      ThreadPool::set_global_threads(t);
+      auto store = make_store(n);
+      const Tensor ref = refit::matmul(x, store->effective());
+      const Tensor fused = store->forward_matmul(x);
+      const bool bits = same_bits(ref, fused);
+
+      const double mat_clean = time_best(
+          reps, [&] { sink += refit::matmul(x, store->effective())[0]; });
+      const double fus_clean =
+          time_best(reps, [&] { sink += store->forward_matmul(x)[0]; });
+      const double fus_gf = fwd_flops / (fus_clean * 1e9);
+      rows.push_back({"materialize_forward_clean", t, mat_clean, 1.0, bits,
+                      fwd_flops / (mat_clean * 1e9),
+                      fwd_flops / (mat_clean * 1e9) / peak_gflops, 0.0});
+      rows.push_back({"fused_forward_clean", t, fus_clean,
+                      mat_clean / fus_clean, bits, fus_gf,
+                      fus_gf / peak_gflops, 0.0});
+      std::cout << "fused_forward_clean threads=" << t << " " << fus_clean
+                << "s vs materialize " << mat_clean << "s ("
+                << mat_clean / fus_clean << "x, bit_identical="
+                << (bits ? "true" : "false") << ")\n";
+
+      const double mat_dirty = time_best(reps, [&] {
+        store->apply_delta(delta_tile);
+        sink += refit::matmul(x, store->effective())[0];
+      });
+      const double fus_dirty = time_best(reps, [&] {
+        store->apply_delta(delta_tile);
+        sink += store->forward_matmul(x)[0];
+      });
+      rows.push_back({"materialize_forward_dirty_tile", t, mat_dirty, 1.0,
+                      bits, 0.0, 0.0, 0.0});
+      rows.push_back({"fused_forward_dirty_tile", t, fus_dirty,
+                      mat_dirty / fus_dirty, bits, 0.0, 0.0, 0.0});
+      std::cout << "fused_forward_dirty_tile threads=" << t << " "
+                << fus_dirty << "s vs materialize " << mat_dirty << "s ("
+                << mat_dirty / fus_dirty << "x)\n";
     }
   }
 
@@ -227,19 +512,46 @@ int main(int argc, char** argv) {
   const std::string path = out_env != nullptr ? out_env : "BENCH_backend.json";
   std::ofstream os(path);
   os << "{\n  \"bench\": \"backend\",\n";
-  os << "  \"hardware_threads\": " << std::thread::hardware_concurrency()
+  os << "  \"provenance\": {\n";
+  os << "    \"hardware_threads\": " << hw_threads << ",\n";
+  os << "    \"cpu_model\": \"" << json_escape(cpu_model()) << "\",\n";
+  os << "    \"compiler\": \"" << json_escape(__VERSION__) << "\",\n";
+#ifdef REFIT_BENCH_CXX_FLAGS
+  os << "    \"cxx_flags\": \"" << json_escape(REFIT_BENCH_CXX_FLAGS)
+     << "\",\n";
+#endif
+#ifdef REFIT_BENCH_BUILD_TYPE
+  os << "    \"build_type\": \"" << json_escape(REFIT_BENCH_BUILD_TYPE)
+     << "\",\n";
+#endif
+  os << "    \"measured_peak_gflops\": " << peak_gflops << "\n  },\n";
+  os << "  \"hardware_threads\": " << hw_threads << ",\n";
+  os << "  \"scaling_valid\": " << (scaling_valid ? "true" : "false")
      << ",\n";
-  os << "  \"note\": \"thread speedups are bounded by hardware_threads; "
-        "the *_vs_full_serial rebuild rows measure the incremental "
-        "(per-tile dirty) rebuild against the seed's full rebuild\",\n";
+  os << "  \"gemm_output_hash\": \"" << std::hex << gemm_hash << std::dec
+     << "\",\n";
+  os << "  \"note\": \"thread speedups are bounded by hardware_threads "
+        "(invalid when scaling_valid is false); gflops/frac_peak are "
+        "achieved FLOP throughput against the measured in-register peak "
+        "(docs/kernels.md); the *_vs_full_serial rebuild rows measure the "
+        "incremental (per-tile dirty) rebuild against the seed's full "
+        "rebuild\",\n";
   os << "  \"shape\": " << n << ",\n  \"results\": [\n";
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const Row& r = rows[i];
     os << "    {\"name\": \"" << r.name << "\", \"threads\": " << r.threads
        << ", \"seconds\": " << r.seconds << ", \"speedup_vs_serial\": "
        << r.speedup_vs_serial << ", \"bit_identical\": "
-       << (r.bit_identical ? "true" : "false") << "}"
-       << (i + 1 < rows.size() ? "," : "") << "\n";
+       << (r.bit_identical ? "true" : "false");
+    if (r.gflops > 0.0) {
+      os << ", \"gflops\": " << r.gflops << ", \"frac_peak\": "
+         << r.frac_peak;
+    }
+    if (r.speedup_vs_naive > 0.0) {
+      os << ", \"speedup_vs_naive\": " << r.speedup_vs_naive;
+    }
+    if (r.threads > 1 && !scaling_valid) os << ", \"scaling_valid\": false";
+    os << "}" << (i + 1 < rows.size() ? "," : "") << "\n";
   }
   os << "  ]\n}\n";
   std::cout << "wrote " << path << " (sink=" << sink << ")\n";

@@ -70,6 +70,26 @@ for b in fig1_motivation fig6_detection fig7a_entire_cnn fig7b_fc_only; do
     bench_rc=1
   fi
 done
+# Golden-GEMM gate: the deterministic matmul_512 output hash in the backend
+# bench must match bench/gemm_golden_hash.txt. Any kernel change that alters
+# bits fails here; regenerate the golden file only with a bit-identity
+# justification (see docs/kernels.md).
+bench_json=$(mktemp)
+if REFIT_FAST=1 REFIT_BENCH_OUT="$bench_json" ./build/bench/bench_backend \
+     > /dev/null; then
+  want=$(cat bench/gemm_golden_hash.txt)
+  got=$(sed -n 's/.*"gemm_output_hash": "\([0-9a-f]*\)".*/\1/p' "$bench_json")
+  if [[ "$got" == "$want" ]]; then
+    echo "  bench_backend OK (gemm_output_hash $got)"
+  else
+    echo "  bench_backend FAILED: gemm_output_hash $got != golden $want"
+    bench_rc=1
+  fi
+else
+  echo "  bench_backend FAILED"
+  bench_rc=1
+fi
+rm -f "$bench_json"
 record bench-smoke $bench_rc
 
 banner "obs-smoke: trace + metrics capture through quickstart"
@@ -109,11 +129,15 @@ if cmake -B build-asan -S . -DREFIT_SANITIZE=address,undefined &&
 fi
 record asan-ubsan $asan_rc
 
-banner "tsan: parallel backend tests under TSan (REFIT_THREADS=4)"
+banner "tsan: parallel backend tests under TSan (REFIT_THREADS=4, fast reduce)"
+# REFIT_FAST_REDUCE=1 exercises the opt-in fast reduction mode under TSan;
+# the backend determinism assertions still hold because fast mode is
+# thread-count-invariant per element (see docs/kernels.md).
 tsan_rc=1
 if cmake -B build-tsan -S . -DREFIT_SANITIZE=thread &&
    cmake --build build-tsan -j --target test_backend &&
-   (cd build-tsan && REFIT_THREADS=4 ctest --output-on-failure -R '^Backend'); then
+   (cd build-tsan &&
+    REFIT_THREADS=4 REFIT_FAST_REDUCE=1 ctest --output-on-failure -R '^Backend'); then
   tsan_rc=0
 fi
 record tsan $tsan_rc

@@ -72,7 +72,8 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::run_chunk(std::size_t lane) {
-  const auto [begin, end] = chunk_range(job_n_, size(), lane);
+  if (lane >= job_lanes_) return;
+  const auto [begin, end] = chunk_range(job_n_, job_lanes_, lane);
   if (begin >= end) return;
   (*job_body_)(begin, end);
 }
@@ -108,7 +109,8 @@ void ThreadPool::worker_loop(std::size_t lane) {
 }
 
 void ThreadPool::parallel_for(
-    std::size_t n, const std::function<void(std::size_t, std::size_t)>& body) {
+    std::size_t n, const std::function<void(std::size_t, std::size_t)>& body,
+    std::size_t max_lanes) {
   if (n == 0) return;
   // Nested call from inside a pool chunk: always inline, never measured —
   // the outer call owns the job slots and the trace span.
@@ -118,11 +120,17 @@ void ThreadPool::parallel_for(
   }
   static obs::Counter calls = obs::MetricsRegistry::instance().counter(
       "pool.parallel_for.calls", "calls");
+  static obs::Counter inline_calls = obs::MetricsRegistry::instance().counter(
+      "pool.parallel_for.inline", "calls");
   calls.add();
   obs::TraceSpan span("parallel_for", "pool");
-  // Serial fallback: 1-lane pool or a range too small to split. Runs the
-  // exact same chunk math (one chunk = [0, n)).
-  if (workers_.empty() || n == 1) {
+  const std::size_t lanes =
+      std::min(size(), std::min(max_lanes == 0 ? n : max_lanes, n));
+  // Serial fallback: 1-lane pool, a range too small to split, or a grain
+  // cap of one lane. Runs the exact same chunk math (one chunk = [0, n))
+  // without waking any worker.
+  if (workers_.empty() || lanes <= 1) {
+    inline_calls.add();
     InsidePoolGuard guard;
     body(0, n);
     return;
@@ -130,6 +138,7 @@ void ThreadPool::parallel_for(
   {
     std::lock_guard<std::mutex> lk(mu_);
     job_n_ = n;
+    job_lanes_ = lanes;
     job_body_ = &body;
     job_error_ = nullptr;
     pending_ = workers_.size();

@@ -39,9 +39,12 @@ class ThreadPool {
   [[nodiscard]] std::size_t size() const { return workers_.size() + 1; }
 
   /// Run body(begin, end) over a static partition of [0, n). Blocks until
-  /// every chunk finished; rethrows the first chunk exception.
+  /// every chunk finished; rethrows the first chunk exception. `max_lanes`
+  /// caps the number of chunks (0 = all lanes); 1 runs inline on the
+  /// caller without waking any worker — the small-op fast path.
   void parallel_for(std::size_t n,
-                    const std::function<void(std::size_t, std::size_t)>& body);
+                    const std::function<void(std::size_t, std::size_t)>& body,
+                    std::size_t max_lanes = 0);
 
   /// The process-wide pool (REFIT_THREADS / hardware concurrency).
   static ThreadPool& global();
@@ -64,6 +67,7 @@ class ThreadPool {
 
   // Current job (valid while pending_ > 0).
   std::size_t job_n_ = 0;
+  std::size_t job_lanes_ = 0;
   const std::function<void(std::size_t, std::size_t)>* job_body_ = nullptr;
   std::exception_ptr job_error_;
 };
@@ -72,6 +76,28 @@ class ThreadPool {
 inline void parallel_for(
     std::size_t n, const std::function<void(std::size_t, std::size_t)>& body) {
   ThreadPool::global().parallel_for(n, body);
+}
+
+/// Minimum scalar-op work a lane must amortize before fan-out pays for the
+/// pool handshake (wakeup + join ≈ tens of microseconds). Callers of
+/// parallel_for_grained estimate work_per_item in flops / element visits.
+inline constexpr std::size_t kParallelGrain = 65536;
+
+/// Grain-aware parallel_for: fans [0, n) out over at most
+/// ceil(n · work_per_item / kParallelGrain) lanes, so sub-grain ops run
+/// inline on the caller instead of paying the pool handshake. Chunks stay
+/// static and callers write disjoint ranges, so results are bit-identical
+/// to the ungrained spelling at any thread count.
+inline void parallel_for_grained(
+    std::size_t n, std::size_t work_per_item,
+    const std::function<void(std::size_t, std::size_t)>& body) {
+  std::size_t lanes = 1;
+  if (work_per_item == 0) work_per_item = 1;
+  if (n > kParallelGrain / work_per_item) {
+    const std::size_t per_lane = kParallelGrain / work_per_item;
+    lanes = per_lane == 0 ? n : (n + per_lane - 1) / per_lane;
+  }
+  ThreadPool::global().parallel_for(n, body, lanes);
 }
 
 }  // namespace refit

@@ -34,7 +34,7 @@ Tensor Conv2D::forward(const Tensor& x, bool train) {
                             << shape_to_string(x.shape()));
   const std::size_t batch = x.dim(0);
   Tensor cols = im2col(x, geom_);
-  Tensor rows = matmul(cols, store_->effective());  // [N·OH·OW, OC]
+  Tensor rows = store_->forward_matmul(cols);  // [N·OH·OW, OC], fused on RCS
   add_row_vector(rows, bias_);
   if (train) {
     cached_cols_ = std::move(cols);

@@ -28,7 +28,9 @@ Tensor Dense::forward(const Tensor& x, bool train) {
                   "Dense " << name() << ": bad input "
                            << shape_to_string(x.shape()));
   if (train) cached_input_ = x;
-  Tensor y = matmul(x, store_->effective());
+  // Through the store seam: the RCS backend fuses this multiply with the
+  // device read-out (no effective-matrix materialization).
+  Tensor y = store_->forward_matmul(x);
   add_row_vector(y, bias_);
   return y;
 }

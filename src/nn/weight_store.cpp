@@ -4,8 +4,13 @@
 #include <utility>
 
 #include "common/serialize.hpp"
+#include "tensor/ops.hpp"
 
 namespace refit {
+
+Tensor WeightStore::forward_matmul(const Tensor& x) {
+  return matmul(x, effective());
+}
 
 SoftwareWeightStore::SoftwareWeightStore(Tensor init) : w_(std::move(init)) {}
 

@@ -34,6 +34,13 @@ class WeightStore {
   /// The ideal target weights the optimizer believes it has written.
   [[nodiscard]] virtual const Tensor& target() const = 0;
 
+  /// Forward propagation through the store: y = x · W_eff for a batch
+  /// x [batch, fan_in]. The default materializes effective() and multiplies;
+  /// hardware backends override with a fused kernel that computes straight
+  /// from device state (bit-identical to the default — layers call this
+  /// instead of matmul(x, effective()) purely for speed).
+  [[nodiscard]] virtual Tensor forward_matmul(const Tensor& x);
+
   /// target += delta; entries with delta == 0 are *not* written to the
   /// device (this is what threshold training exploits to save endurance).
   virtual void apply_delta(const Tensor& delta) = 0;

@@ -10,6 +10,8 @@
 
 #include "common/serialize.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "tensor/gemm.hpp"
 
 namespace refit {
 
@@ -64,6 +66,8 @@ CrossbarWeightStore::CrossbarWeightStore(const RcsConfig& cfg, Tensor init,
 
   map_ = LogicalMapping(r, c);
   tile_dirty_.assign(tiles_.size(), 1);
+  pack_dirty_.assign(tiles_.size(), 1);
+  any_pack_dirty_ = true;
 
   // Program the initial weights onto the chip, one pool lane per tile.
   // With the identity permutations in force here, visiting each tile's
@@ -122,6 +126,8 @@ void CrossbarWeightStore::write_logical(std::size_t i, std::size_t j) {
   wearout_agg_ += xb.wearout_fault_count() - wo0;
   tile_dirty_[tc.tile] = 1;
   any_dirty_ = true;
+  pack_dirty_[tc.tile] = 1;
+  any_pack_dirty_ = true;
 }
 
 const Tensor& CrossbarWeightStore::effective() {
@@ -132,6 +138,8 @@ const Tensor& CrossbarWeightStore::effective() {
 void CrossbarWeightStore::mark_all_dirty() {
   std::fill(tile_dirty_.begin(), tile_dirty_.end(), 1);
   any_dirty_ = true;
+  std::fill(pack_dirty_.begin(), pack_dirty_.end(), 1);
+  any_pack_dirty_ = true;
 }
 
 void CrossbarWeightStore::resync_counters() {
@@ -186,6 +194,73 @@ void CrossbarWeightStore::rebuild_effective() {
     tile_dirty_[span.index] = 0;
   });
   any_dirty_ = false;
+}
+
+void CrossbarWeightStore::pack_tile(const TileSpan& span) {
+  const Crossbar& xb = *tiles_[span.index];
+  const std::size_t k = rows();
+  for (std::size_t lr = 0; lr < span.rows; ++lr) {
+    const std::size_t i = map_.logical_row(span.row0 + lr);
+    for (std::size_t lc = 0; lc < span.cols; ++lc) {
+      const std::size_t j = map_.logical_col(span.col0 + lc);
+      // Exactly rebuild_tile's read-out expression, scattered into the
+      // panel slot pack_b would have put W_eff(i, j) in — the fused path
+      // and materialize-then-matmul feed the micro-kernel identical bits.
+      const double g = xb.effective_conductance(lr, lc);
+      const float sign = target_.at(i, j) < 0.0f ? -1.0f : 1.0f;
+      packed_eff_[gemm::packed_index(k, i, j)] =
+          sign * static_cast<float>(g * weight_max_);
+    }
+  }
+}
+
+void CrossbarWeightStore::refresh_packed_effective() {
+  const std::size_t needed = gemm::packed_size(rows(), cols());
+  if (packed_eff_.size() != needed) {
+    // Zero-fill once: tail panel lanes past the last column are never
+    // touched by any tile and must stay zero for the micro-kernel.
+    packed_eff_.assign(needed, 0.0f);
+    std::fill(pack_dirty_.begin(), pack_dirty_.end(), 1);
+    any_pack_dirty_ = true;
+  }
+  if (!any_pack_dirty_) return;
+  std::vector<std::size_t> dirty;
+  dirty.reserve(tiles_.size());
+  for (std::size_t t = 0; t < tiles_.size(); ++t) {
+    if (pack_dirty_[t] != 0) dirty.push_back(t);
+  }
+  static obs::Counter pack_tiles_metric = obs::MetricsRegistry::instance()
+      .counter("store.fused_pack_tiles", "tiles");
+  pack_tiles_metric.add(dirty.size());
+  // Span recorded on the caller only (per-tile timing would land on pool
+  // workers and make traces depend on the thread count — the pool's
+  // busy_ns counters carry the per-lane breakdown instead).
+  obs::TraceSpan span("fused_forward.pack", "rcs");
+  grid_.for_each_tile(dirty, [&](const TileSpan& s) {
+    pack_tile(s);
+    pack_dirty_[s.index] = 0;
+  });
+  any_pack_dirty_ = false;
+}
+
+Tensor CrossbarWeightStore::forward_matmul(const Tensor& x) {
+  REFIT_CHECK_MSG(x.rank() == 2 && x.dim(1) == rows(),
+                  "forward_matmul: bad input " << shape_to_string(x.shape()));
+  static obs::Counter calls_metric = obs::MetricsRegistry::instance().counter(
+      "store.fused_forward.calls", "calls");
+  static obs::Counter flops_metric =
+      obs::MetricsRegistry::instance().counter("tensor.gemm.flops", "flop");
+  calls_metric.add();
+  refresh_packed_effective();
+  const std::size_t m = x.dim(0), k = rows(), n = cols();
+  flops_metric.add(2 * m * k * n);
+  obs::TraceSpan span("fused_forward", "rcs");
+  Tensor y({m, n});
+  // Same zero-skip contract as matmul(): the comparison path the tests pin
+  // this against, matmul(x, effective()), skips zero activations too.
+  gemm::run(m, k, n, x.data(), k, packed_eff_.data(), y.data(), n,
+            /*zero_skip=*/true);
+  return y;
 }
 
 void CrossbarWeightStore::apply_delta(const Tensor& delta) {
@@ -279,6 +354,8 @@ void CrossbarWeightStore::pulse_physical(std::size_t r, std::size_t c,
   wearout_agg_ += xb.wearout_fault_count() - wo0;
   tile_dirty_[tc.tile] = 1;
   any_dirty_ = true;
+  pack_dirty_[tc.tile] = 1;
+  any_pack_dirty_ = true;
 }
 
 void CrossbarWeightStore::sync_target_from_device() {
@@ -372,6 +449,9 @@ void CrossbarWeightStore::read_from(std::istream& is) {
   tile_dirty_.assign(tiles_.size(), 1);
   any_dirty_ = true;
   effective_ = Tensor();
+  packed_eff_.clear();
+  pack_dirty_.assign(tiles_.size(), 1);
+  any_pack_dirty_ = true;
   resync_counters();
 }
 

@@ -63,6 +63,13 @@ class CrossbarWeightStore final : public WeightStore {
   [[nodiscard]] const Shape& shape() const override { return target_.shape(); }
   [[nodiscard]] const Tensor& effective() override;
   [[nodiscard]] const Tensor& target() const override { return target_; }
+  /// Fused faulty forward: y = x · W_eff computed straight from crossbar
+  /// conductances, sign registers, and the logical mapping — no effective_
+  /// materialization. Dirty tiles repack their cells into the GEMM panel
+  /// layout (tile-parallel, disjoint scatter); the multiply then runs the
+  /// same deterministic micro-kernel as matmul(x, effective()), so the
+  /// result is bit-identical to it at any thread count and permutation.
+  [[nodiscard]] Tensor forward_matmul(const Tensor& x) override;
   void apply_delta(const Tensor& delta) override;
   void apply_delta_full(const Tensor& delta) override;
   void assign(const Tensor& w) override;
@@ -176,6 +183,11 @@ class CrossbarWeightStore final : public WeightStore {
   /// Recompute the effective entries of every logical cell hosted on the
   /// tile covering `span`.
   void rebuild_tile(const TileSpan& span);
+  /// Re-read the tile covering `span` into the packed GEMM panels (the
+  /// fused-forward analogue of rebuild_tile).
+  void pack_tile(const TileSpan& span);
+  /// Bring packed_eff_ up to date, repacking only dirty tiles.
+  void refresh_packed_effective();
   void mark_all_dirty();
   /// Re-derive the aggregate write/fault counters from the tiles' own
   /// running totals (O(#tiles), used after out-of-band tile mutation).
@@ -193,6 +205,13 @@ class CrossbarWeightStore final : public WeightStore {
   /// short-circuits effective() on the hottest path.
   std::vector<std::uint8_t> tile_dirty_;
   bool any_dirty_ = true;
+  /// Fused-forward cache: the effective weights in the packed panel layout
+  /// of tensor/gemm.hpp, with its own staleness flags (effective_ and the
+  /// panels are consumed by different paths, so each invalidates
+  /// independently and neither pays for the other's rebuild).
+  std::vector<float> packed_eff_;
+  std::vector<std::uint8_t> pack_dirty_;
+  bool any_pack_dirty_ = true;
   /// Running aggregates over all tiles (see fault_count() docs).
   std::uint64_t writes_agg_ = 0;
   std::size_t faults_agg_ = 0;

@@ -1,0 +1,248 @@
+// Packed-panel GEMM micro-kernels behind tensor/gemm.hpp.
+#include "tensor/gemm.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/thread_pool.hpp"
+
+#if defined(__SSE2__)
+#include <emmintrin.h>
+#endif
+
+namespace refit {
+
+namespace {
+
+std::atomic<ReductionMode>& mode_cell() {
+  static std::atomic<ReductionMode> mode{[] {
+    const char* env = std::getenv("REFIT_FAST_REDUCE");
+    return (env != nullptr && env[0] == '1' && env[1] == '\0')
+               ? ReductionMode::kFast
+               : ReductionMode::kDeterministic;
+  }()};
+  return mode;
+}
+
+}  // namespace
+
+ReductionMode reduction_mode() {
+  return mode_cell().load(std::memory_order_relaxed);
+}
+
+void set_reduction_mode(ReductionMode mode) {
+  mode_cell().store(mode, std::memory_order_relaxed);
+}
+
+namespace gemm {
+
+namespace {
+
+/// Row-block height of the mid loop: bounds the A slab a lane streams per
+/// strip pass to kMC×k floats so it stays L2-resident at bench shapes.
+constexpr std::size_t kMC = 64;
+
+/// Deterministic micro-kernel: MR C rows × kNR C columns accumulated in
+/// registers down the whole k extent, additions k-ascending from zero —
+/// the exact rounding sequence of the pre-blocking naive kernels.
+#if defined(__SSE2__)
+/// Explicit SSE2 lanes (baseline on x86-64). Each C element still sees one
+/// IEEE mul + add per kk in k order — _mm_mul_ps/_mm_add_ps round exactly
+/// like the scalar ops — so the bits match the scalar form. Hand-written
+/// because GCC's SLP pass turns the branchless variant into shuffle soup
+/// (~3x slower than broadcast-axpy).
+template <std::size_t MR, bool ZeroSkip>
+void micro_det(std::size_t k, const float* a, std::size_t lda, const float* bp,
+               float* c, std::size_t ldc, std::size_t nvalid) {
+  __m128 lo[MR];
+  __m128 hi[MR];
+  for (std::size_t r = 0; r < MR; ++r) {
+    lo[r] = _mm_setzero_ps();
+    hi[r] = _mm_setzero_ps();
+  }
+  for (std::size_t kk = 0; kk < k; ++kk) {
+    const __m128 blo = _mm_loadu_ps(bp + kk * kNR);
+    const __m128 bhi = _mm_loadu_ps(bp + kk * kNR + 4);
+    for (std::size_t r = 0; r < MR; ++r) {
+      const float av = a[r * lda + kk];
+      if constexpr (ZeroSkip) {
+        if (av == 0.0f) continue;  // post-ReLU activations are sparse
+      }
+      const __m128 va = _mm_set1_ps(av);
+      lo[r] = _mm_add_ps(lo[r], _mm_mul_ps(va, blo));
+      hi[r] = _mm_add_ps(hi[r], _mm_mul_ps(va, bhi));
+    }
+  }
+  float acc[MR][kNR];
+  for (std::size_t r = 0; r < MR; ++r) {
+    _mm_storeu_ps(acc[r], lo[r]);
+    _mm_storeu_ps(acc[r] + 4, hi[r]);
+  }
+  for (std::size_t r = 0; r < MR; ++r)
+    for (std::size_t j = 0; j < nvalid; ++j) c[r * ldc + j] = acc[r][j];
+}
+#else
+/// Portable scalar form: the kNR-wide inner loops carry independent
+/// accumulators, so they vectorize without reassociating anything.
+template <std::size_t MR, bool ZeroSkip>
+void micro_det(std::size_t k, const float* a, std::size_t lda, const float* bp,
+               float* c, std::size_t ldc, std::size_t nvalid) {
+  float acc[MR][kNR] = {};
+  for (std::size_t kk = 0; kk < k; ++kk) {
+    const float* brow = bp + kk * kNR;
+    for (std::size_t r = 0; r < MR; ++r) {
+      const float av = a[r * lda + kk];
+      if constexpr (ZeroSkip) {
+        if (av == 0.0f) continue;  // post-ReLU activations are sparse
+      }
+      for (std::size_t j = 0; j < kNR; ++j) acc[r][j] += av * brow[j];
+    }
+  }
+  for (std::size_t r = 0; r < MR; ++r)
+    for (std::size_t j = 0; j < nvalid; ++j) c[r * ldc + j] = acc[r][j];
+}
+#endif
+
+/// Fast micro-kernel: k split across two interleaved partial accumulators
+/// (reassociation → more FMA-latency overlap), no zero skip.
+template <std::size_t MR>
+void micro_fast(std::size_t k, const float* a, std::size_t lda, const float* bp,
+                float* c, std::size_t ldc, std::size_t nvalid) {
+  float acc0[MR][kNR] = {};
+  float acc1[MR][kNR] = {};
+  std::size_t kk = 0;
+  for (; kk + 2 <= k; kk += 2) {
+    const float* b0 = bp + kk * kNR;
+    const float* b1 = b0 + kNR;
+    for (std::size_t r = 0; r < MR; ++r) {
+      const float av0 = a[r * lda + kk];
+      const float av1 = a[r * lda + kk + 1];
+      for (std::size_t j = 0; j < kNR; ++j) {
+        acc0[r][j] += av0 * b0[j];
+        acc1[r][j] += av1 * b1[j];
+      }
+    }
+  }
+  if (kk < k) {
+    const float* b0 = bp + kk * kNR;
+    for (std::size_t r = 0; r < MR; ++r) {
+      const float av = a[r * lda + kk];
+      for (std::size_t j = 0; j < kNR; ++j) acc0[r][j] += av * b0[j];
+    }
+  }
+  for (std::size_t r = 0; r < MR; ++r)
+    for (std::size_t j = 0; j < nvalid; ++j)
+      c[r * ldc + j] = acc0[r][j] + acc1[r][j];
+}
+
+/// mr ∈ [1, kMR] dispatch so every instantiation has compile-time row
+/// counts (full unroll, accumulators in registers).
+void micro(std::size_t mr, std::size_t k, const float* a, std::size_t lda,
+           const float* bp, float* c, std::size_t ldc, std::size_t nvalid,
+           bool zero_skip, bool fast) {
+  if (fast) {
+    switch (mr) {
+      case 4: micro_fast<4>(k, a, lda, bp, c, ldc, nvalid); return;
+      case 3: micro_fast<3>(k, a, lda, bp, c, ldc, nvalid); return;
+      case 2: micro_fast<2>(k, a, lda, bp, c, ldc, nvalid); return;
+      default: micro_fast<1>(k, a, lda, bp, c, ldc, nvalid); return;
+    }
+  }
+  if (zero_skip) {
+    switch (mr) {
+      case 4: micro_det<4, true>(k, a, lda, bp, c, ldc, nvalid); return;
+      case 3: micro_det<3, true>(k, a, lda, bp, c, ldc, nvalid); return;
+      case 2: micro_det<2, true>(k, a, lda, bp, c, ldc, nvalid); return;
+      default: micro_det<1, true>(k, a, lda, bp, c, ldc, nvalid); return;
+    }
+  }
+  switch (mr) {
+    case 4: micro_det<4, false>(k, a, lda, bp, c, ldc, nvalid); return;
+    case 3: micro_det<3, false>(k, a, lda, bp, c, ldc, nvalid); return;
+    case 2: micro_det<2, false>(k, a, lda, bp, c, ldc, nvalid); return;
+    default: micro_det<1, false>(k, a, lda, bp, c, ldc, nvalid); return;
+  }
+}
+
+}  // namespace
+
+void pack_b(const float* b, std::size_t k, std::size_t n, float* bp) {
+  const std::size_t nstrips = strip_count(n);
+  // kk-major walk: reads stream B once; each row scatters into the strip
+  // panels. Lanes own disjoint kk ranges of every panel.
+  parallel_for_grained(k, n, [&](std::size_t k0, std::size_t k1) {
+    for (std::size_t kk = k0; kk < k1; ++kk) {
+      const float* row = b + kk * n;
+      for (std::size_t s = 0; s < nstrips; ++s) {
+        float* dst = bp + (s * k + kk) * kNR;
+        const std::size_t j0 = s * kNR;
+        const std::size_t nvalid = std::min(kNR, n - j0);
+        std::memcpy(dst, row + j0, nvalid * sizeof(float));
+        for (std::size_t r = nvalid; r < kNR; ++r) dst[r] = 0.0f;
+      }
+    }
+  });
+}
+
+void pack_bt(const float* bt, std::size_t n, std::size_t k, float* bp) {
+  // Strip-major: each strip transposes kNR contiguous Bᵀ rows (L1-resident
+  // sources, contiguous reads). Lanes own disjoint strips.
+  parallel_for_grained(
+      strip_count(n), k * kNR, [&](std::size_t s0, std::size_t s1) {
+        for (std::size_t s = s0; s < s1; ++s) {
+          float* panel = bp + s * k * kNR;
+          const std::size_t j0 = s * kNR;
+          const std::size_t nvalid = std::min(kNR, n - j0);
+          for (std::size_t r = 0; r < nvalid; ++r) {
+            const float* src = bt + (j0 + r) * k;
+            for (std::size_t kk = 0; kk < k; ++kk)
+              panel[kk * kNR + r] = src[kk];
+          }
+          for (std::size_t r = nvalid; r < kNR; ++r)
+            for (std::size_t kk = 0; kk < k; ++kk) panel[kk * kNR + r] = 0.0f;
+        }
+      });
+}
+
+void pack_at(const float* a, std::size_t k, std::size_t m, float* at) {
+  parallel_for_grained(m, k, [&](std::size_t i0, std::size_t i1) {
+    for (std::size_t i = i0; i < i1; ++i) {
+      float* dst = at + i * k;
+      for (std::size_t kk = 0; kk < k; ++kk) dst[kk] = a[kk * m + i];
+    }
+  });
+}
+
+void run(std::size_t m, std::size_t k, std::size_t n, const float* a,
+         std::size_t lda, const float* bp, float* c, std::size_t ldc,
+         bool zero_skip) {
+  const bool fast = reduction_mode() == ReductionMode::kFast;
+  const std::size_t nstrips = strip_count(n);
+  // Lanes own contiguous C row blocks; within a lane the mid loop holds a
+  // kMC-row A slab against every (L1-resident) packed strip.
+  parallel_for_grained(m, 2 * k * n, [&](std::size_t i0, std::size_t i1) {
+    for (std::size_t ic = i0; ic < i1; ic += kMC) {
+      const std::size_t ie = std::min(i1, ic + kMC);
+      for (std::size_t s = 0; s < nstrips; ++s) {
+        const float* strip = bp + s * k * kNR;
+        const std::size_t j0 = s * kNR;
+        const std::size_t nvalid = std::min(kNR, n - j0);
+        for (std::size_t i = ic; i < ie; i += kMR) {
+          const std::size_t mr = std::min(kMR, ie - i);
+          micro(mr, k, a + i * lda, lda, strip, c + i * ldc + j0, ldc, nvalid,
+                zero_skip, fast);
+        }
+      }
+    }
+  });
+}
+
+std::vector<float>& scratch(std::size_t slot) {
+  thread_local std::vector<float> buffers[2];
+  return buffers[slot < 2 ? slot : 0];
+}
+
+}  // namespace gemm
+}  // namespace refit

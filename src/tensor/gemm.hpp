@@ -1,0 +1,88 @@
+// Blocked, register-tiled GEMM core shared by the tensor kernels
+// (tensor/ops.cpp) and the RCS fused faulty-forward kernel
+// (rcs/crossbar_store.cpp).
+//
+// Layout: the right-hand matrix is packed into column strips of kNR
+// contiguous floats per k-step — strip s holds columns [s·kNR, (s+1)·kNR)
+// as a k×kNR panel at bp + s·k·kNR, tail lanes zero-padded. The micro-
+// kernel then streams one L1-resident strip against kMR rows of A,
+// accumulating a kMR×kNR register block down the full k extent.
+//
+// Determinism: each output element is an independent dot product whose
+// additions run in k-ascending order from a zero accumulator — exactly the
+// sequence the pre-blocking naive kernels performed — so deterministic-mode
+// results are bit-identical to them (and across thread counts; lanes write
+// disjoint C rows). ReductionMode::kFast (opt-in via
+// refit::set_reduction_mode or REFIT_FAST_REDUCE=1) permits reassociation:
+// the micro-kernel splits k across two interleaved partial accumulators,
+// which changes the rounding sequence but stays within ~1e-4 relative
+// error on normalized data.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace refit {
+
+/// Floating-point reduction contract of the GEMM kernels.
+enum class ReductionMode {
+  kDeterministic,  ///< bit-identical to the serial k-ascending sum (default)
+  kFast            ///< reassociated accumulators (faster, ~1e-4 rel error)
+};
+
+/// Process-wide reduction mode. Initialized from REFIT_FAST_REDUCE=1 on
+/// first query; set_reduction_mode overrides the environment.
+[[nodiscard]] ReductionMode reduction_mode();
+void set_reduction_mode(ReductionMode mode);
+
+namespace gemm {
+
+/// Micro-kernel register block: kMR C rows × kNR C columns held in
+/// registers across the whole k extent (kNR = two 4-wide SSE vectors, one
+/// AVX vector — auto-vectorized FMA under the build's optimization flags).
+inline constexpr std::size_t kMR = 4;
+inline constexpr std::size_t kNR = 8;
+
+/// Number of kNR-wide column strips covering n columns.
+[[nodiscard]] constexpr std::size_t strip_count(std::size_t n) {
+  return (n + kNR - 1) / kNR;
+}
+
+/// Elements of a packed panel buffer for a k×n right-hand side.
+[[nodiscard]] constexpr std::size_t packed_size(std::size_t k, std::size_t n) {
+  return strip_count(n) * k * kNR;
+}
+
+/// Flat index of element (kk, j) inside a packed panel buffer — the
+/// scatter target for producers that pack from non-matrix sources (the
+/// fused faulty-forward kernel packs straight from crossbar tiles).
+[[nodiscard]] constexpr std::size_t packed_index(std::size_t k, std::size_t kk,
+                                                 std::size_t j) {
+  return ((j / kNR) * k + kk) * kNR + (j % kNR);
+}
+
+/// Pack row-major B[k,n] into strips (tail lanes zeroed).
+void pack_b(const float* b, std::size_t k, std::size_t n, float* bp);
+
+/// Pack row-major Bᵀ[n,k] into strips of the implied B[k,n] — the
+/// matmul_nt right-hand side (tail lanes zeroed).
+void pack_bt(const float* bt, std::size_t n, std::size_t k, float* bp);
+
+/// Transpose-pack column-walked A[k,m] into row-major At[m,k] — removes
+/// matmul_tn's stride-m column walk from the inner loop.
+void pack_at(const float* a, std::size_t k, std::size_t m, float* at);
+
+/// C[m,n] (row-major, ldc) = A[m,k] (row-major, lda) · packed B. Fans C
+/// rows across the pool with grain control; honors reduction_mode().
+/// `zero_skip` replicates the naive kernels' `if (a == 0) continue` (the
+/// post-ReLU sparsity shortcut) in deterministic mode; kFast ignores it.
+void run(std::size_t m, std::size_t k, std::size_t n, const float* a,
+         std::size_t lda, const float* bp, float* c, std::size_t ldc,
+         bool zero_skip);
+
+/// Thread-local scratch buffer for packed panels (slot 0: right-hand
+/// panels, slot 1: transposed A panels). Contents are call-local.
+[[nodiscard]] std::vector<float>& scratch(std::size_t slot);
+
+}  // namespace gemm
+}  // namespace refit

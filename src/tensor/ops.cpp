@@ -5,6 +5,8 @@
 #include <limits>
 
 #include "common/thread_pool.hpp"
+#include "obs/metrics.hpp"
+#include "tensor/gemm.hpp"
 
 namespace refit {
 
@@ -15,12 +17,21 @@ void check_rank2(const Tensor& t, const char* name) {
                   name << " must be rank-2, got " << shape_to_string(t.shape()));
 }
 
+void count_gemm_flops(std::size_t m, std::size_t k, std::size_t n) {
+  static obs::Counter flops =
+      obs::MetricsRegistry::instance().counter("tensor.gemm.flops", "flop");
+  flops.add(2 * m * k * n);
+}
+
 }  // namespace
 
-// All three GEMMs parallelize over output rows: each lane owns a contiguous
-// block of C rows, so lanes never share an output cache line and every
-// element keeps its serial k-ascending accumulation order — pooled results
-// are bit-identical to the 1-thread path (and to the pre-pool kernels).
+// All three GEMMs run on the packed-panel core in tensor/gemm.hpp: the
+// right-hand side is packed into kNR-wide column strips once per call, then
+// a kMR×kNR register-blocked micro-kernel streams each strip against blocks
+// of A rows. Lanes own contiguous C row blocks and every element keeps its
+// serial k-ascending accumulation order, so deterministic-mode results are
+// bit-identical to the pre-blocking kernels at any thread count (kFast
+// reassociates — see docs/kernels.md).
 
 Tensor matmul(const Tensor& a, const Tensor& b) {
   check_rank2(a, "a");
@@ -29,23 +40,13 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
   REFIT_CHECK_MSG(b.dim(0) == k, "inner dims mismatch: " << k << " vs "
                                                          << b.dim(0));
   Tensor c({m, n});
-  const float* ap = a.data();
-  const float* bp = b.data();
-  float* cp = c.data();
-  // i-k-j loop order: streams B and C rows, cache-friendly without tiling.
-  // The av == 0 skip matters: post-ReLU activations are sparse.
-  parallel_for(m, [&](std::size_t i0, std::size_t i1) {
-    for (std::size_t i = i0; i < i1; ++i) {
-      const float* arow = ap + i * k;
-      float* crow = cp + i * n;
-      for (std::size_t kk = 0; kk < k; ++kk) {
-        const float av = arow[kk];
-        if (av == 0.0f) continue;
-        const float* brow = bp + kk * n;
-        for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-      }
-    }
-  });
+  count_gemm_flops(m, k, n);
+  std::vector<float>& panels = gemm::scratch(0);
+  panels.resize(gemm::packed_size(k, n));
+  gemm::pack_b(b.data(), k, n, panels.data());
+  // The zero skip matters: post-ReLU activations are sparse.
+  gemm::run(m, k, n, a.data(), k, panels.data(), c.data(), n,
+            /*zero_skip=*/true);
   return c;
 }
 
@@ -55,22 +56,17 @@ Tensor matmul_tn(const Tensor& a, const Tensor& b) {
   const std::size_t k = a.dim(0), m = a.dim(1), n = b.dim(1);
   REFIT_CHECK_MSG(b.dim(0) == k, "inner dims mismatch in matmul_tn");
   Tensor c({m, n});
-  const float* ap = a.data();
-  const float* bp = b.data();
-  float* cp = c.data();
-  // i-outer (A is read down a column, stride m) so C rows partition cleanly
-  // across lanes; per element the reduction is still k-ascending.
-  parallel_for(m, [&](std::size_t i0, std::size_t i1) {
-    for (std::size_t i = i0; i < i1; ++i) {
-      float* crow = cp + i * n;
-      for (std::size_t kk = 0; kk < k; ++kk) {
-        const float av = ap[kk * m + i];
-        if (av == 0.0f) continue;
-        const float* brow = bp + kk * n;
-        for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-      }
-    }
-  });
+  count_gemm_flops(m, k, n);
+  // Transpose-pack A so the micro-kernel reads it row-major instead of
+  // walking columns at stride m.
+  std::vector<float>& arows = gemm::scratch(1);
+  arows.resize(m * k);
+  gemm::pack_at(a.data(), k, m, arows.data());
+  std::vector<float>& panels = gemm::scratch(0);
+  panels.resize(gemm::packed_size(k, n));
+  gemm::pack_b(b.data(), k, n, panels.data());
+  gemm::run(m, k, n, arows.data(), k, panels.data(), c.data(), n,
+            /*zero_skip=*/true);
   return c;
 }
 
@@ -80,43 +76,13 @@ Tensor matmul_nt(const Tensor& a, const Tensor& b) {
   const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(0);
   REFIT_CHECK_MSG(b.dim(1) == k, "inner dims mismatch in matmul_nt");
   Tensor c({m, n});
-  const float* ap = a.data();
-  const float* bp = b.data();
-  float* cp = c.data();
-  parallel_for(m, [&](std::size_t i0, std::size_t i1) {
-    for (std::size_t i = i0; i < i1; ++i) {
-      const float* arow = ap + i * k;
-      float* crow = cp + i * n;
-      // Register blocking: four independent dot-product accumulators reuse
-      // each arow[kk] load across four B rows; every accumulator still sums
-      // in k-ascending order, so blocking does not perturb the result.
-      std::size_t j = 0;
-      for (; j + 4 <= n; j += 4) {
-        const float* b0 = bp + j * k;
-        const float* b1 = bp + (j + 1) * k;
-        const float* b2 = bp + (j + 2) * k;
-        const float* b3 = bp + (j + 3) * k;
-        float acc0 = 0.0f, acc1 = 0.0f, acc2 = 0.0f, acc3 = 0.0f;
-        for (std::size_t kk = 0; kk < k; ++kk) {
-          const float av = arow[kk];
-          acc0 += av * b0[kk];
-          acc1 += av * b1[kk];
-          acc2 += av * b2[kk];
-          acc3 += av * b3[kk];
-        }
-        crow[j] = acc0;
-        crow[j + 1] = acc1;
-        crow[j + 2] = acc2;
-        crow[j + 3] = acc3;
-      }
-      for (; j < n; ++j) {
-        const float* brow = bp + j * k;
-        float acc = 0.0f;
-        for (std::size_t kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
-        crow[j] = acc;
-      }
-    }
-  });
+  count_gemm_flops(m, k, n);
+  std::vector<float>& panels = gemm::scratch(0);
+  panels.resize(gemm::packed_size(k, n));
+  gemm::pack_bt(b.data(), n, k, panels.data());
+  // The pre-blocking nt kernel had no zero skip; keep its exact FP path.
+  gemm::run(m, k, n, a.data(), k, panels.data(), c.data(), n,
+            /*zero_skip=*/false);
   return c;
 }
 
@@ -163,8 +129,10 @@ Tensor im2col(const Tensor& input, const ConvGeometry& g) {
   const std::size_t plen = g.patch_len();
   Tensor cols({batch * oh * ow, plen});
   float* cp = cols.data();
-  // Each image owns a disjoint block of patch rows — batch-parallel.
-  parallel_for(batch, [&](std::size_t n0, std::size_t n1) {
+  // Each image owns a disjoint block of patch rows — batch-parallel, with a
+  // grain cutoff so tiny shapes run inline instead of paying pool fan-out.
+  parallel_for_grained(batch, oh * ow * plen,
+                       [&](std::size_t n0, std::size_t n1) {
   for (std::size_t n = n0; n < n1; ++n) {
     for (std::size_t y = 0; y < oh; ++y) {
       for (std::size_t x = 0; x < ow; ++x) {
@@ -206,7 +174,8 @@ Tensor col2im(const Tensor& cols, std::size_t batch, const ConvGeometry& g) {
   const float* cp = cols.data();
   // Overlapping windows only collide within one image; images are disjoint,
   // so the scatter-accumulate is batch-parallel and keeps its serial order.
-  parallel_for(batch, [&](std::size_t n0, std::size_t n1) {
+  parallel_for_grained(batch, oh * ow * plen,
+                       [&](std::size_t n0, std::size_t n1) {
   for (std::size_t n = n0; n < n1; ++n) {
     for (std::size_t y = 0; y < oh; ++y) {
       for (std::size_t x = 0; x < ow; ++x) {
@@ -278,8 +247,10 @@ Tensor maxpool2d(const Tensor& input, std::size_t window, std::size_t stride,
   Tensor out({batch, ch, oh, ow});
   argmax.assign(out.numel(), 0);
   // Output index derived from (n, c, y, x) instead of a running counter so
-  // each image's windows can run on a separate lane.
-  parallel_for(batch, [&](std::size_t n0, std::size_t n1) {
+  // each image's windows can run on a separate lane; grained so small pools
+  // stay inline.
+  parallel_for_grained(batch, ch * oh * ow * window * window,
+                       [&](std::size_t n0, std::size_t n1) {
   for (std::size_t n = n0; n < n1; ++n) {
     for (std::size_t c = 0; c < ch; ++c) {
       for (std::size_t y = 0; y < oh; ++y) {

@@ -5,10 +5,16 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <numeric>
+#include <sstream>
 
+#include "common/thread_pool.hpp"
 #include "rcs/rcs_system.hpp"
+#include "tensor/gemm.hpp"
+#include "tensor/ops.hpp"
 
 namespace refit {
 namespace {
@@ -212,6 +218,101 @@ TEST(RcsSystem, AggregateWriteStats) {
   Tensor delta({4, 4}, 0.01f);
   s->apply_delta(delta);
   EXPECT_GT(sys.mean_writes_per_cell(), before);
+}
+
+// ---- Fused faulty forward -------------------------------------------------
+
+struct ReductionModeGuard {
+  ReductionMode prev = reduction_mode();
+  ~ReductionModeGuard() { set_reduction_mode(prev); }
+};
+
+struct PoolGuard {
+  ~PoolGuard() { ThreadPool::set_global_threads(1); }
+};
+
+bool same_bits(const Tensor& x, const Tensor& y) {
+  return x.shape() == y.shape() &&
+         std::memcmp(x.data(), y.data(), x.numel() * sizeof(float)) == 0;
+}
+
+TEST(CrossbarStore, FusedForwardBitExactUnderInjectedFaults) {
+  ReductionModeGuard mode_guard;
+  PoolGuard pool_guard;
+  set_reduction_mode(ReductionMode::kDeterministic);
+  // 40×24 on 16×16 tiles: a 3×2 grid with shrunken edge tiles, so the
+  // packed scatter crosses tile boundaries in both dimensions.
+  const Tensor init = ramp(40, 24, 0.03f);
+  CrossbarWeightStore store(clean_config(), init, Rng(21));
+  store.tile(0, 0).force_fault(1, 2, FaultKind::kStuckAt0);
+  store.tile(0, 1).force_fault(3, 3, FaultKind::kStuckAt1);
+  store.tile(1, 0).force_fault(0, 0, FaultKind::kStuckAt1);
+  store.tile(2, 1).force_fault(5, 7, FaultKind::kStuckAt0);
+  store.invalidate();
+
+  Rng rng(22);
+  const Tensor x = Tensor::randn({5, 40}, rng);
+  for (std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    ThreadPool::set_global_threads(threads);
+    const Tensor fused = store.forward_matmul(x);
+    const Tensor ref = matmul(x, store.effective());
+    EXPECT_TRUE(same_bits(fused, ref)) << "threads=" << threads;
+  }
+}
+
+TEST(CrossbarStore, FusedForwardTracksWritesAndPermutations) {
+  ReductionModeGuard mode_guard;
+  PoolGuard pool_guard;
+  set_reduction_mode(ReductionMode::kDeterministic);
+  const Tensor init = ramp(32, 32, 0.02f);
+  CrossbarWeightStore store(clean_config(), init, Rng(23));
+  Rng rng(24);
+  const Tensor x = Tensor::randn({3, 32}, rng);
+
+  // Clean state first (primes the packed cache), then dirty one tile via a
+  // delta — the incremental repack must track it.
+  EXPECT_TRUE(same_bits(store.forward_matmul(x), matmul(x, store.effective())));
+  Tensor delta({32, 32});
+  delta.at(2, 3) = 0.05f;
+  delta.at(20, 20) = -0.04f;
+  store.apply_delta(delta);
+  EXPECT_TRUE(same_bits(store.forward_matmul(x), matmul(x, store.effective())));
+
+  // Non-identity permutations: the packed scatter must follow the logical
+  // mapping exactly as the materialized rebuild does.
+  std::vector<std::size_t> rp(32), cp(32);
+  std::iota(rp.begin(), rp.end(), 0);
+  std::iota(cp.begin(), cp.end(), 0);
+  std::reverse(rp.begin(), rp.end());
+  std::swap(cp[0], cp[31]);
+  std::swap(cp[5], cp[17]);
+  store.set_permutations(rp, cp);
+  for (std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    ThreadPool::set_global_threads(threads);
+    EXPECT_TRUE(same_bits(store.forward_matmul(x),
+                          matmul(x, store.effective())))
+        << "threads=" << threads;
+  }
+}
+
+TEST(CrossbarStore, FusedForwardSurvivesCheckpointRestore) {
+  ReductionModeGuard mode_guard;
+  set_reduction_mode(ReductionMode::kDeterministic);
+  const Tensor init = ramp(20, 20, 0.02f);
+  CrossbarWeightStore store(clean_config(), init, Rng(25));
+  store.tile(0, 0).force_fault(2, 2, FaultKind::kStuckAt1);
+  store.invalidate();
+  Rng rng(26);
+  const Tensor x = Tensor::randn({2, 20}, rng);
+  (void)store.forward_matmul(x);  // warm the packed cache
+
+  std::stringstream ss;
+  store.save(ss);
+  CrossbarWeightStore restored(clean_config(), init, Rng(27));
+  restored.restore(ss);
+  EXPECT_TRUE(same_bits(restored.forward_matmul(x),
+                        matmul(x, restored.effective())));
+  EXPECT_TRUE(same_bits(restored.forward_matmul(x), store.forward_matmul(x)));
 }
 
 }  // namespace

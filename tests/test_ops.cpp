@@ -4,7 +4,12 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <cstring>
+
 #include "common/rng.hpp"
+#include "common/thread_pool.hpp"
+#include "tensor/gemm.hpp"
 
 namespace refit {
 namespace {
@@ -185,6 +190,177 @@ TEST(MatmulProperty, ZeroSkipsDoNotChangeResult) {
         acc += static_cast<double>(a.at(i, k)) * b.at(k, j);
       EXPECT_NEAR(c.at(i, j), acc, 1e-4);
     }
+}
+
+// ---- Blocked GEMM vs the pre-blocking kernels -----------------------------
+
+// Serial copies of the exact pre-blocking loop bodies (i-k-j with zero skip
+// for matmul / matmul_tn, 4-wide j-register blocking without skip for
+// matmul_nt). Deterministic mode must reproduce their results bit for bit.
+
+Tensor naive_matmul(const Tensor& a, const Tensor& b) {
+  const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  Tensor c({m, n});
+  for (std::size_t i = 0; i < m; ++i) {
+    const float* arow = a.data() + i * k;
+    float* crow = c.data() + i * n;
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      const float av = arow[kk];
+      if (av == 0.0f) continue;
+      const float* brow = b.data() + kk * n;
+      for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+  return c;
+}
+
+Tensor naive_matmul_tn(const Tensor& a, const Tensor& b) {
+  const std::size_t k = a.dim(0), m = a.dim(1), n = b.dim(1);
+  Tensor c({m, n});
+  for (std::size_t i = 0; i < m; ++i) {
+    float* crow = c.data() + i * n;
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      const float av = a.data()[kk * m + i];
+      if (av == 0.0f) continue;
+      const float* brow = b.data() + kk * n;
+      for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+  return c;
+}
+
+Tensor naive_matmul_nt(const Tensor& a, const Tensor& b) {
+  const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(0);
+  Tensor c({m, n});
+  for (std::size_t i = 0; i < m; ++i) {
+    const float* arow = a.data() + i * k;
+    float* crow = c.data() + i * n;
+    std::size_t j = 0;
+    for (; j + 4 <= n; j += 4) {
+      const float* b0 = b.data() + j * k;
+      const float* b1 = b.data() + (j + 1) * k;
+      const float* b2 = b.data() + (j + 2) * k;
+      const float* b3 = b.data() + (j + 3) * k;
+      float acc0 = 0.0f, acc1 = 0.0f, acc2 = 0.0f, acc3 = 0.0f;
+      for (std::size_t kk = 0; kk < k; ++kk) {
+        const float av = arow[kk];
+        acc0 += av * b0[kk];
+        acc1 += av * b1[kk];
+        acc2 += av * b2[kk];
+        acc3 += av * b3[kk];
+      }
+      crow[j] = acc0;
+      crow[j + 1] = acc1;
+      crow[j + 2] = acc2;
+      crow[j + 3] = acc3;
+    }
+    for (; j < n; ++j) {
+      const float* brow = b.data() + j * k;
+      float acc = 0.0f;
+      for (std::size_t kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
+      crow[j] = acc;
+    }
+  }
+  return c;
+}
+
+/// Restores the process reduction mode (tests may run under
+/// REFIT_FAST_REDUCE=1, so never assume the entry mode).
+struct ReductionModeGuard {
+  ReductionMode prev = reduction_mode();
+  ~ReductionModeGuard() { set_reduction_mode(prev); }
+};
+
+struct PoolGuard {
+  ~PoolGuard() { ThreadPool::set_global_threads(1); }
+};
+
+bool same_bits(const Tensor& x, const Tensor& y) {
+  return x.shape() == y.shape() &&
+         std::memcmp(x.data(), y.data(), x.numel() * sizeof(float)) == 0;
+}
+
+/// Random matrix with zeros sprinkled in (every 5th element) so the
+/// zero-skip path is exercised.
+Tensor sparse_randn(Shape shape, Rng& rng) {
+  Tensor t = Tensor::randn(std::move(shape), rng);
+  for (std::size_t i = 0; i < t.numel(); i += 5) t[i] = 0.0f;
+  return t;
+}
+
+// Odd shapes: non-multiples of the kMR/kNR register block and the row
+// block, degenerate m=1 / k=1 / n=1, and exact-multiple controls.
+struct GemmShape {
+  std::size_t m, k, n;
+};
+const GemmShape kOddShapes[] = {
+    {1, 1, 1},    {1, 7, 1},   {3, 5, 2},    {4, 8, 8},    {5, 9, 11},
+    {1, 64, 9},   {31, 1, 8},  {33, 17, 31}, {64, 64, 64}, {127, 129, 63},
+};
+
+TEST(GemmBlocked, DeterministicBitIdenticalToNaiveAcrossShapes) {
+  ReductionModeGuard mode_guard;
+  PoolGuard pool_guard;
+  set_reduction_mode(ReductionMode::kDeterministic);
+  Rng rng(11);
+  for (const auto& sh : kOddShapes) {
+    const Tensor a = sparse_randn({sh.m, sh.k}, rng);
+    const Tensor b = sparse_randn({sh.k, sh.n}, rng);
+    const Tensor at = transpose(a);   // [k, m] for matmul_tn
+    const Tensor bt = transpose(b);   // [n, k] for matmul_nt
+    const Tensor ref = naive_matmul(a, b);
+    const Tensor ref_tn = naive_matmul_tn(at, b);
+    const Tensor ref_nt = naive_matmul_nt(a, bt);
+    for (std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+      ThreadPool::set_global_threads(threads);
+      EXPECT_TRUE(same_bits(matmul(a, b), ref))
+          << sh.m << "x" << sh.k << "x" << sh.n << " @" << threads;
+      EXPECT_TRUE(same_bits(matmul_tn(at, b), ref_tn))
+          << "tn " << sh.m << "x" << sh.k << "x" << sh.n << " @" << threads;
+      EXPECT_TRUE(same_bits(matmul_nt(a, bt), ref_nt))
+          << "nt " << sh.m << "x" << sh.k << "x" << sh.n << " @" << threads;
+    }
+  }
+}
+
+TEST(GemmBlocked, FastModeWithinRelativeTolerance) {
+  ReductionModeGuard mode_guard;
+  Rng rng(12);
+  for (const auto& sh : kOddShapes) {
+    const Tensor a = Tensor::randn({sh.m, sh.k}, rng);
+    const Tensor b = Tensor::randn({sh.k, sh.n}, rng);
+    set_reduction_mode(ReductionMode::kDeterministic);
+    const Tensor ref = matmul(a, b);
+    set_reduction_mode(ReductionMode::kFast);
+    const Tensor fast = matmul(a, b);
+    ASSERT_EQ(fast.shape(), ref.shape());
+    for (std::size_t i = 0; i < ref.numel(); ++i) {
+      const double tol =
+          1e-4 * std::max(1.0, static_cast<double>(std::fabs(ref[i])));
+      EXPECT_NEAR(fast[i], ref[i], tol) << "element " << i;
+    }
+  }
+}
+
+TEST(GemmBlocked, ReductionModeSetterOverrides) {
+  ReductionModeGuard mode_guard;
+  set_reduction_mode(ReductionMode::kFast);
+  EXPECT_EQ(reduction_mode(), ReductionMode::kFast);
+  set_reduction_mode(ReductionMode::kDeterministic);
+  EXPECT_EQ(reduction_mode(), ReductionMode::kDeterministic);
+}
+
+TEST(GemmBlocked, PackedIndexMatchesPackB) {
+  // packed_index is the scatter contract used by the fused faulty-forward
+  // producer; it must agree with pack_b's layout element for element.
+  Rng rng(13);
+  const std::size_t k = 9, n = 19;
+  const Tensor b = Tensor::randn({k, n}, rng);
+  std::vector<float> bp(gemm::packed_size(k, n), -1.0f);
+  gemm::pack_b(b.data(), k, n, bp.data());
+  for (std::size_t kk = 0; kk < k; ++kk)
+    for (std::size_t j = 0; j < n; ++j)
+      EXPECT_EQ(bp[gemm::packed_index(k, kk, j)], b.at(kk, j));
 }
 
 }  // namespace

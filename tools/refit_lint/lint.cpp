@@ -111,6 +111,11 @@ const std::vector<RuleInfo>& rules() {
        "std::chrono::steady_clock / high_resolution_clock in src/ outside "
        "src/obs — take timestamps through refit::obs::now_ns() or "
        "obs::Stopwatch so the Clock seam stays the single time source"},
+      {"inference-effective",
+       "store.effective() / store->effective() on an inference path "
+       "(src/nn, src/core) outside nn/weight_store — call "
+       "WeightStore::forward_matmul so crossbar backends keep the fused "
+       "kernel instead of materializing the effective matrix"},
   };
   return kRules;
 }
@@ -131,6 +136,11 @@ std::vector<Finding> lint_source(const std::string& path,
                             path_contains(path, "src/obs/");
   const bool owns_rng = path_contains(path, "common/rng");
   const bool owns_tiles = path_contains(path, "rcs/crossbar_store");
+  // nn/weight_store hosts the interface plus the portable forward_matmul
+  // fallback, which is the one sanctioned effective()-materializing site on
+  // the inference side.
+  const bool inference_side =
+      (mod == "nn" || mod == "core") && !path_contains(path, "nn/weight_store");
   // src/obs is the only module allowed to read a raw std::chrono clock —
   // everything else must go through the Clock seam (obs/clock.hpp) so
   // golden traces stay deterministic under ManualClock.
@@ -282,6 +292,19 @@ std::vector<Finding> lint_source(const std::string& path,
                      "invalidate() afterwards to resync the cached "
                      "effective weights and O(1) counters");
       }
+    }
+
+    // store.effective() / store->effective() on inference-side modules.
+    // Matching only member-access call sites keeps override declarations
+    // (`const Tensor& effective() override`) in new backends legal.
+    if (inference_side && tok.text == "effective" && i > 0 &&
+        (t[i - 1].text == "." || t[i - 1].text == "->") && i + 1 < t.size() &&
+        t[i + 1].text == "(") {
+      report("inference-effective", tok.line,
+             "effective() materializes the full weight matrix — on "
+             "inference paths call store->forward_matmul(x) so crossbar "
+             "backends keep the fused per-tile kernel (backward passes "
+             "read target(), not effective())");
     }
 
     // Raw std::chrono clocks in src/ outside obs. Matching the bare

@@ -132,6 +132,20 @@ TEST(RefitLint, PathExemptionsApply) {
   EXPECT_FALSE(refit::lint::lint_source("src/nn/dense.cpp", rng_src).empty());
   EXPECT_FALSE(
       refit::lint::lint_source("src/nn/dense.cpp", clock_src).empty());
+
+  // nn/weight_store hosts the sanctioned effective()-materializing fallback;
+  // the identical call is a violation in any other nn/core file, and legal
+  // outside the inference side entirely (rcs, detect, tests).
+  const std::string eff_src = "// impl\nauto w = store->effective();\n";
+  EXPECT_TRUE(
+      refit::lint::lint_source("src/nn/weight_store.cpp", eff_src).empty());
+  EXPECT_FALSE(
+      refit::lint::lint_source("src/nn/dense.cpp", eff_src).empty());
+  EXPECT_FALSE(
+      refit::lint::lint_source("src/core/engine.cpp", eff_src).empty());
+  EXPECT_TRUE(
+      refit::lint::lint_source("src/rcs/crossbar_store.cpp", eff_src).empty());
+  EXPECT_TRUE(refit::lint::lint_source("tests/x.cpp", eff_src).empty());
 }
 
 TEST(RefitLint, FileWideSuppression) {
