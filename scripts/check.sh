@@ -4,6 +4,7 @@
 #   tier1       RelWithDebInfo build (-DREFIT_WERROR=ON) + full ctest suite
 #   lint        refit-lint static analysis over src/tests/bench/examples/tools
 #   audit       refit-audit cross-TU analysis diffed against its baseline
+#   flow        refit-flow CFG/dataflow analysis diffed against its baseline
 #   bench-smoke figure-reproduction benches end to end under REFIT_FAST=1
 #   obs-smoke   quickstart with --trace-out/--metrics-out; both outputs must
 #               be valid JSON with the expected top-level shape
@@ -59,6 +60,16 @@ if ./build/tools/refit_audit --baseline tools/refit_audit/baseline.txt \
   audit_rc=0
 fi
 record audit $audit_rc
+
+banner "flow: refit-flow CFG/dataflow analysis vs baseline"
+flow_rc=1
+if [[ ! -x build/tools/refit_flow ]]; then
+  cmake --build build -j --target refit_flow || true
+fi
+if ./build/tools/refit_flow --baseline tools/refit_flow/baseline.txt; then
+  flow_rc=0
+fi
+record flow $flow_rc
 
 banner "bench-smoke: figure benches under REFIT_FAST=1"
 bench_rc=0

@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Regenerates tools/refit_flow/baseline.txt from the current tree.
+#
+# The baseline freezes deliberately-kept refit-flow findings; anything the
+# analyzer reports that is not in the file fails CI (see docs/tooling.md).
+# Output is deterministic — sorted unique `<rule> <file> <detail>` keys with
+# repo-relative paths — so reruns on an unchanged tree are byte-identical.
+#
+# Hand-written `#` comments justifying each kept entry are NOT preserved by
+# regeneration: re-add them before committing. Policy: parallel-shared-write
+# findings are never baselined — a data race in a thread-pool region is
+# always a bug; fix the code (or, for a provable false positive, suppress
+# in place with `// refit-flow: allow(parallel-shared-write)`).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT=tools/refit_flow/baseline.txt
+
+if [[ ! -f build/CMakeCache.txt ]]; then
+  cmake -B build -S .
+fi
+cmake --build build -j --target refit_flow
+
+./build/tools/refit_flow --write-baseline "$OUT"
+
+if grep -E '^parallel-shared-write ' "$OUT"; then
+  echo "error: the entries above must never be baselined — fix the code" >&2
+  exit 1
+fi
+echo "wrote $OUT — re-add the justification comments before committing"

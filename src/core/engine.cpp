@@ -376,7 +376,7 @@ TrainingResult read_result(std::istream& is) {
 
 }  // namespace
 
-void FtEngine::save_checkpoint(std::ostream& os) const {
+bool FtEngine::save_checkpoint(std::ostream& os) const {
   REFIT_CHECK_MSG(begun_, "save_checkpoint() outside an active run");
   ser::write_tag(os, kEngineTag);
   ser::write_pod(os, kEngineVersion);
@@ -422,9 +422,10 @@ void FtEngine::save_checkpoint(std::ostream& os) const {
 
   // Phase-local state (no-ops for the standard phases).
   for (const auto& phase : phases_) phase->save(os);
+  return os.good();
 }
 
-void FtEngine::load_checkpoint(Network& net, RcsSystem* rcs,
+bool FtEngine::load_checkpoint(Network& net, RcsSystem* rcs,
                                const Dataset& data, std::istream& is) {
   ser::expect_tag(is, kEngineTag);
   const auto version = ser::read_pod<std::uint32_t>(is);
@@ -495,6 +496,7 @@ void FtEngine::load_checkpoint(Network& net, RcsSystem* rcs,
 
   for (const auto& phase : phases_) phase->load(is);
   begun_ = true;
+  return is.good();
 }
 
 }  // namespace refit

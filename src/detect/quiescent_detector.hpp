@@ -67,12 +67,12 @@ class QuiescentVoltageDetector {
   [[nodiscard]] const DetectorConfig& config() const { return cfg_; }
 
   /// Run both fault-type passes on a raw crossbar.
-  DetectionOutcome detect(Crossbar& xbar) const;
+  [[nodiscard]] DetectionOutcome detect(Crossbar& xbar) const;
 
   /// Run detection tile-by-tile over a crossbar-backed weight store and
   /// assemble the predictions in the store's physical coordinates. The
   /// store's cached effective weights are invalidated.
-  DetectionOutcome detect_store(CrossbarWeightStore& store) const;
+  [[nodiscard]] DetectionOutcome detect_store(CrossbarWeightStore& store) const;
 
  private:
   /// One fault-type pass. `stuck_level` is the level a faulty cell is

@@ -41,7 +41,8 @@ TEST(Backend, ParallelForCoversRangeExactlyOnce) {
 TEST(Backend, ParallelForHandlesSmallAndEmptyRanges) {
   ThreadPool pool(8);
   int calls = 0;
-  // refit-audit: allow(pool-capture) — n == 0, the body never runs
+  // n == 0: the body never runs, so the shared increment is unreachable.
+  // refit-audit: allow(pool-capture) refit-flow: allow(parallel-shared-write)
   pool.parallel_for(0, [&](std::size_t, std::size_t) { ++calls; });
   EXPECT_EQ(calls, 0);
   std::vector<std::atomic<int>> hits(3);  // fewer items than lanes

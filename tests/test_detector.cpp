@@ -68,7 +68,8 @@ TEST(Detector, RestoresTrainingWeights) {
   for (std::size_t r = 0; r < 16; ++r)
     for (std::size_t c = 0; c < 16; ++c) before.push_back(xb.read_level(r, c));
   const QuiescentVoltageDetector det(small_config());
-  det.detect(xb);
+  const DetectionOutcome out = det.detect(xb);
+  EXPECT_EQ(out.predicted.rows(), 16u);
   std::size_t i = 0;
   for (std::size_t r = 0; r < 16; ++r)
     for (std::size_t c = 0; c < 16; ++c)

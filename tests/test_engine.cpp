@@ -119,13 +119,13 @@ TrainingResult run_resumed(const Dataset& data, std::size_t interrupt_at) {
     FtEngine engine(ft_flow());
     engine.begin(rig.net, &rig.sys, data, Rng(3));
     while (engine.context().iteration < interrupt_at) engine.step();
-    engine.save_checkpoint(checkpoint);
+    EXPECT_TRUE(engine.save_checkpoint(checkpoint));
     // The first engine, its network, and its RcsSystem are destroyed here
     // — the resumed run must not depend on them.
   }
   Rig rig;
   FtEngine engine(ft_flow());
-  engine.load_checkpoint(rig.net, &rig.sys, data, checkpoint);
+  EXPECT_TRUE(engine.load_checkpoint(rig.net, &rig.sys, data, checkpoint));
   EXPECT_EQ(engine.context().iteration, interrupt_at);
   while (!engine.done()) engine.step();
   return engine.finish();
@@ -164,13 +164,14 @@ TEST(EngineCheckpoint, LoadRejectsMismatchedFlowConfig) {
     FtEngine engine(ft_flow());
     engine.begin(rig.net, &rig.sys, data, Rng(3));
     engine.step();
-    engine.save_checkpoint(checkpoint);
+    ASSERT_TRUE(engine.save_checkpoint(checkpoint));
   }
   Rig rig;
   FtFlowConfig other = ft_flow();
   other.iterations = 480;  // different schedule → not the same run
   FtEngine engine(other);
-  EXPECT_THROW(engine.load_checkpoint(rig.net, &rig.sys, data, checkpoint),
+  EXPECT_THROW((void)engine.load_checkpoint(rig.net, &rig.sys, data,
+                                            checkpoint),
                CheckError);
 }
 

@@ -1,6 +1,6 @@
 // Token scanner + suppression parser shared by refit-lint and refit-audit
 // (see lexer.hpp).
-#include "lexer.hpp"
+#include "common/lexer.hpp"
 
 #include <cctype>
 #include <sstream>

@@ -1,11 +1,13 @@
 // Shared C++ token scanner behind the project's static-analysis tools
-// (refit-lint's per-file rules and refit-audit's cross-TU passes).
+// (refit-lint's per-file rules, refit-audit's cross-TU passes, and
+// refit-flow's CFG/dataflow analysis).
 //
 // This is deliberately not a parser: it lexes well enough to separate
 // code from comments, strings and preprocessor lines, which is all the
-// pattern-matching rules need. Both tools also share the in-source
-// suppression syntax (`// <tag> allow(rule[, rule…])`), parameterised by
-// tag so `refit-lint:` and `refit-audit:` suppressions stay independent.
+// pattern-matching and flow rules need. All tools also share the
+// in-source suppression syntax (`// <tag> allow(rule[, rule…])`),
+// parameterised by tag so `refit-lint:`, `refit-audit:` and `refit-flow:`
+// suppressions stay independent.
 #pragma once
 
 #include <map>

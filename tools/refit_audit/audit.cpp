@@ -13,7 +13,7 @@
 #include <ostream>
 #include <sstream>
 
-#include "lexer.hpp"
+#include "common/lexer.hpp"
 
 namespace refit::audit {
 

@@ -1,0 +1,211 @@
+// Expected-findings self-test for refit-flow, mirroring refit-lint's
+// harness: every fixture under testdata/rules/ is analyzed and the
+// produced (line, rule) pairs must match the fixture's annotations
+// exactly —
+//
+//   // EXPECT-FLOW: <rule>        finding on this line
+//   // EXPECT-FLOW@<N>: <rule>    finding reported at line N
+//
+// A fixture with no annotations asserts the analyzer is silent on it, so
+// clean fixtures guard against false positives as much as the bad ones
+// guard against false negatives.
+//
+// CFG construction itself is pinned by golden dumps: each testdata/cfg/
+// X.cpp has an X.golden holding the exact dump_cfg() output (regenerate
+// with `build/tools/refit_flow --dump-cfg <file>` minus the `== ` header).
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <regex>
+#include <set>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "flow.hpp"
+#include "gtest/gtest.h"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+using LineRule = std::pair<int, std::string>;
+
+std::string read_file(const fs::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  EXPECT_TRUE(in) << "cannot open fixture " << p;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+std::multiset<LineRule> parse_expectations(const std::string& content) {
+  std::multiset<LineRule> want;
+  const std::regex at_line(R"(EXPECT-FLOW@(\d+):\s*([a-z0-9-]+))");
+  const std::regex same_line(R"(EXPECT-FLOW:\s*([a-z0-9-]+))");
+  std::istringstream ss(content);
+  std::string line;
+  int lineno = 0;
+  while (std::getline(ss, line)) {
+    ++lineno;
+    std::smatch m;
+    if (std::regex_search(line, m, at_line))
+      want.emplace(std::stoi(m[1]), m[2]);
+    else if (std::regex_search(line, m, same_line))
+      want.emplace(lineno, m[1]);
+  }
+  return want;
+}
+
+std::vector<fs::path> fixtures(const std::string& subdir,
+                               const std::string& ext) {
+  std::vector<fs::path> out;
+  const fs::path dir = fs::path(REFIT_FLOW_TESTDATA_DIR) / subdir;
+  for (const auto& e : fs::directory_iterator(dir))
+    if (e.is_regular_file() && e.path().extension() == ext)
+      out.push_back(e.path());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<refit::flow::Finding> analyze(const fs::path& p,
+                                          const std::string& content) {
+  const refit::flow::FileCfg cfg =
+      refit::flow::build_file_cfg(p.generic_string(), content);
+  return refit::flow::analyze_file(cfg, refit::flow::AnalyzeOptions{});
+}
+
+}  // namespace
+
+TEST(RefitFlow, TestdataDirHasFixtures) {
+  EXPECT_GE(fixtures("rules", ".cpp").size(), 8u)
+      << "testdata/rules/ should hold a bad and a clean fixture per rule";
+  EXPECT_GE(fixtures("cfg", ".cpp").size(), 5u)
+      << "testdata/cfg/ should pin the CFG edge cases";
+}
+
+TEST(RefitFlow, FixturesProduceExactlyTheAnnotatedFindings) {
+  for (const fs::path& p : fixtures("rules", ".cpp")) {
+    SCOPED_TRACE(p.filename().string());
+    const std::string content = read_file(p);
+    const std::multiset<LineRule> want = parse_expectations(content);
+
+    std::multiset<LineRule> got;
+    for (const auto& f : analyze(p, content)) got.emplace(f.line, f.rule);
+
+    for (const auto& [line, rule] : want)
+      EXPECT_TRUE(got.count({line, rule}))
+          << "expected finding [" << rule << "] at line " << line
+          << " was not produced";
+    for (const auto& [line, rule] : got)
+      EXPECT_TRUE(want.count({line, rule}))
+          << "unexpected finding [" << rule << "] at line " << line;
+  }
+}
+
+TEST(RefitFlow, EveryRuleIsCoveredByAFixture) {
+  std::set<std::string> exercised;
+  for (const fs::path& p : fixtures("rules", ".cpp"))
+    for (const auto& [line, rule] : parse_expectations(read_file(p)))
+      exercised.insert(rule);
+  for (const auto& r : refit::flow::rules())
+    EXPECT_TRUE(exercised.count(r.name))
+        << "rule '" << r.name << "' has no expected-findings fixture";
+}
+
+TEST(RefitFlow, CfgGoldensMatch) {
+  for (const fs::path& p : fixtures("cfg", ".cpp")) {
+    SCOPED_TRACE(p.filename().string());
+    fs::path golden = p;
+    golden.replace_extension(".golden");
+    ASSERT_TRUE(fs::exists(golden))
+        << "missing golden for " << p.filename()
+        << " (regenerate with refit_flow --dump-cfg)";
+    const refit::flow::FileCfg cfg =
+        refit::flow::build_file_cfg(p.filename().generic_string(),
+                                    read_file(p));
+    std::ostringstream dump;
+    refit::flow::dump_cfg(dump, cfg);
+    EXPECT_EQ(dump.str(), read_file(golden))
+        << "CFG drift — if intentional, refresh the golden with "
+           "`refit_flow --dump-cfg " << p.filename().string() << "`";
+  }
+}
+
+TEST(RefitFlow, SuppressionCoversOwnAndNextLineOnly) {
+  const std::string src =
+      "// header\n"
+      "void f(Det& d, Xb& xb) {\n"
+      "  // refit-flow: allow(unchecked-must-use)\n"
+      "  d.detect(xb);\n"
+      "  d.detect(xb);\n"
+      "}\n";
+  const auto findings = analyze("tests/x.cpp", src);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].line, 5);
+  EXPECT_EQ(findings[0].rule, "unchecked-must-use");
+}
+
+TEST(RefitFlow, PathExemptionsApply) {
+  // The store owns its dirty flags; the pool owns its loop internals.
+  const std::string mut =
+      "// impl\nvoid touch(Store& s) { s.tile(0, 0).write(1, 2.0); }\n";
+  EXPECT_TRUE(analyze("src/rcs/crossbar_store.cpp", mut).empty());
+  EXPECT_FALSE(analyze("src/rcs/rcs_system.cpp", mut).empty());
+}
+
+TEST(RefitFlow, FindingKeyIsLineIndependent) {
+  const std::string src =
+      "// impl\nvoid touch(Store& s) { s.tile(0, 0).write(1, 2.0); }\n";
+  const auto a = analyze("src/x.cpp", src);
+  const auto b = analyze("src/x.cpp", "// pad\n" + src);
+  ASSERT_EQ(a.size(), 1u);
+  ASSERT_EQ(b.size(), 1u);
+  EXPECT_NE(a[0].line, b[0].line);
+  EXPECT_EQ(a[0].key(), b[0].key());  // the ratchet never keys on lines
+}
+
+TEST(RefitFlow, BaselineRatchet) {
+  std::istringstream base(
+      "# comment\n"
+      "\n"
+      "mutation-without-invalidate src/x.cpp touch:s\n"
+      "use-after-move src/gone.cpp f:v\n");
+  const refit::flow::Baseline bl = refit::flow::Baseline::parse(base);
+  refit::flow::Finding frozen;
+  frozen.file = "src/x.cpp";
+  frozen.rule = "mutation-without-invalidate";
+  frozen.detail = "touch:s";
+  refit::flow::Finding fresh = frozen;
+  fresh.detail = "touch:other";
+  const refit::flow::RatchetResult rr =
+      refit::flow::apply_baseline({frozen, fresh}, bl);
+  ASSERT_EQ(rr.frozen.size(), 1u);
+  ASSERT_EQ(rr.fresh.size(), 1u);
+  EXPECT_EQ(rr.fresh[0].detail, "touch:other");
+  ASSERT_EQ(rr.stale.size(), 1u);
+  EXPECT_EQ(rr.stale[0], "use-after-move src/gone.cpp f:v");
+}
+
+TEST(RefitFlow, LambdaParallelCalleeIsRecorded) {
+  const std::string src =
+      "void run(Pool& pool, std::vector<float>& out) {\n"
+      "  pool.parallel_for(out.size(), [&](std::size_t b, std::size_t e) {\n"
+      "    for (std::size_t i = b; i < e; ++i) out[i] = 0.0f;\n"
+      "  });\n"
+      "  auto plain = [&]() { return out.size(); };\n"
+      "  (void)plain;\n"
+      "}\n";
+  const refit::flow::FileCfg cfg =
+      refit::flow::build_file_cfg("tests/x.cpp", src);
+  ASSERT_EQ(cfg.functions.size(), 3u);
+  int parallel = 0, plain = 0;
+  for (const auto& fn : cfg.functions) {
+    if (!fn.is_lambda) continue;
+    if (fn.parallel_callee == "parallel_for") ++parallel;
+    if (fn.parallel_callee.empty()) ++plain;
+  }
+  EXPECT_EQ(parallel, 1);
+  EXPECT_EQ(plain, 1);
+}

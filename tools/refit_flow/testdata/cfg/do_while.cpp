@@ -1,0 +1,9 @@
+// do/while: body executes before the condition; break exits past it.
+int countdown(int n) {
+  int steps = 0;
+  do {
+    ++steps;
+    if (steps > 100) break;
+  } while (n-- > 0);
+  return steps;
+}

@@ -1,0 +1,9 @@
+// Early-return ladder: every guard edges straight to the exit block.
+int ladder(int x) {
+  if (x < 0) return -1;
+  if (x == 0) {
+    return 0;
+  }
+  if (x < 10) return 1;
+  return 2;
+}

@@ -1,0 +1,9 @@
+// Lambda in lambda: each gets its own CFG; the enclosing statement keeps
+// the nested tokens.
+int nest(int n) {
+  auto outer = [&](int k) {
+    auto inner = [&](int j) { return j + k; };
+    return inner(k) + n;
+  };
+  return outer(n);
+}

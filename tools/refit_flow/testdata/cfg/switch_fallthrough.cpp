@@ -1,0 +1,18 @@
+// Switch with fallthrough, break, return, and default: the golden pins
+// head->every-label edges plus the fallthrough edge case 0 -> case 1.
+int classify(int x) {
+  int kind = 0;
+  switch (x) {
+    case 0:
+      kind = 1;
+      // fallthrough
+    case 1:
+      kind = 2;
+      break;
+    case 2:
+      return -1;
+    default:
+      kind = 3;
+  }
+  return kind;
+}

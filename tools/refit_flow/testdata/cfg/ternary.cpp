@@ -1,0 +1,6 @@
+// Ternaries stay inside one statement — they must not split blocks.
+int pick(int a, int b, bool flip) {
+  int lo = flip ? b : a;
+  int hi = (a > b) ? a : b;
+  return flip ? lo : hi;
+}

@@ -1,0 +1,25 @@
+// Discarded and dead detection/checkpoint results.
+#include <iosfwd>
+
+struct Outcome {
+  int faults;
+};
+struct Crossbar {};
+struct Detector {
+  Outcome detect(Crossbar& xb);
+};
+struct Engine {
+  bool save_checkpoint(std::ostream& os);
+};
+
+void drops_result(Detector& det, Crossbar& xb) {
+  det.detect(xb);  // EXPECT-FLOW: unchecked-must-use
+}
+
+void dead_binding(Detector& det, Crossbar& xb) {
+  auto outcome = det.detect(xb);  // EXPECT-FLOW: unchecked-must-use
+}
+
+void drops_io(Engine& eng, std::ostream& os) {
+  eng.save_checkpoint(os);  // EXPECT-FLOW: unchecked-must-use
+}

@@ -1,0 +1,40 @@
+// Properly consumed detection/checkpoint results: bound-and-read, tested
+// in a condition, returned, passed along, or read on a later branch.
+#include <iosfwd>
+
+struct Outcome {
+  int faults;
+};
+struct Crossbar {};
+struct Detector {
+  Outcome detect(Crossbar& xb);
+};
+struct Engine {
+  bool save_checkpoint(std::ostream& os);
+};
+
+int counts(Detector& det, Crossbar& xb) {
+  auto outcome = det.detect(xb);
+  return outcome.faults;
+}
+
+void in_condition(Engine& eng, std::ostream& os) {
+  if (!eng.save_checkpoint(os)) {
+    return;
+  }
+}
+
+Outcome forwarded(Detector& det, Crossbar& xb) {
+  return det.detect(xb);
+}
+
+void as_argument(Detector& det, Crossbar& xb, void (*sink)(Outcome)) {
+  sink(det.detect(xb));
+}
+
+void later_use_in_branch(Detector& det, Crossbar& xb, bool verbose) {
+  auto outcome = det.detect(xb);
+  if (verbose) {
+    (void)outcome.faults;
+  }
+}

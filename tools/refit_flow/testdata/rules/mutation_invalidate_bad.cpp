@@ -1,0 +1,25 @@
+// Tile mutations that can reach function exit without invalidating the
+// store's derived caches (effective weights, packed planes).
+struct Tile {
+  void write(int idx, double g);
+  void force_fault(int idx);
+};
+struct Store {
+  Tile& tile(int ti, int tj);
+  void invalidate();
+};
+
+void poke(Store& s) {
+  s.tile(0, 0).write(3, 1.5);  // EXPECT-FLOW: mutation-without-invalidate
+}
+
+void early_out(Store& s, bool fast) {
+  s.tile(1, 1).force_fault(7);  // EXPECT-FLOW: mutation-without-invalidate
+  if (fast) return;  // this path skips the invalidate below
+  s.invalidate();
+}
+
+void via_alias(Store& s) {
+  auto& tl = s.tile(2, 2);
+  tl.write(0, 0.25);  // EXPECT-FLOW: mutation-without-invalidate
+}

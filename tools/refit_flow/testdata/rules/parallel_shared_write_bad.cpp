@@ -1,0 +1,29 @@
+// Shared-scalar writes inside thread-pool lambdas: every flavor the rule
+// must catch. Fixtures only need to lex, not compile.
+#include <cstddef>
+
+struct Pool {
+  template <class F>
+  void parallel_for(std::size_t n, F f);
+};
+
+void accumulate(Pool& pool, std::size_t n) {
+  double sum = 0.0;
+  int hits = 0;
+  pool.parallel_for(n, [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) {
+      sum += 1.0;  // EXPECT-FLOW: parallel-shared-write
+      ++hits;      // EXPECT-FLOW: parallel-shared-write
+    }
+  });
+}
+
+struct Reducer {
+  Pool& pool;
+  double total = 0.0;
+  void run(std::size_t n) {
+    pool.parallel_for(n, [this](std::size_t b, std::size_t e) {
+      total += static_cast<double>(e - b);  // EXPECT-FLOW: parallel-shared-write
+    });
+  }
+};

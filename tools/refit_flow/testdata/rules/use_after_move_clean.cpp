@@ -1,0 +1,33 @@
+// Move-out patterns that must stay silent: reassignment, refilling via
+// clear(), member moves (untracked by design), and the steal-and-reset
+// loop idiom.
+#include <string>
+#include <utility>
+#include <vector>
+
+int reassigned(std::vector<int> v) {
+  std::vector<int> w = std::move(v);
+  v = std::vector<int>();
+  return static_cast<int>(v.size() + w.size());
+}
+
+void refilled(std::string s, std::vector<std::string>& sink) {
+  sink.push_back(std::move(s));
+  s.clear();
+  sink.push_back(std::move(s));
+}
+
+std::string member_moves(std::pair<std::string, std::string> p) {
+  auto first = std::move(p.first);
+  return first + p.second;
+}
+
+std::vector<int> loop_local(std::vector<std::vector<int>>& out, int n) {
+  std::vector<int> acc;
+  for (int i = 0; i < n; ++i) {
+    std::vector<int> tmp = std::move(acc);
+    acc = std::vector<int>();
+    out.push_back(std::move(tmp));
+  }
+  return acc;
+}

@@ -1,13 +1,14 @@
 // Token-level rule engine behind refit-lint (see lint.hpp for the rule
 // catalogue and suppression syntax). The lexer and the suppression parser
-// live in lexer.{hpp,cpp}, shared with the cross-TU refit-audit tool.
+// live in tools/common/lexer.{hpp,cpp}, shared with the cross-TU
+// refit-audit tool and the flow-sensitive refit-flow analyzer.
 #include "lint.hpp"
 
 #include <algorithm>
 #include <map>
 #include <set>
 
-#include "lexer.hpp"
+#include "common/lexer.hpp"
 
 namespace refit::lint {
 namespace {
