@@ -4,6 +4,7 @@
 #include <algorithm>
 #include <cstdlib>
 #include <fstream>
+#include <thread>
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -121,6 +122,63 @@ ObsOptions init_obs(int argc, char** argv) {
   if (opts.enabled()) obs::MetricsRegistry::instance().set_enabled(true);
   if (!opts.trace_out.empty()) obs::Tracer::global().set_enabled(true);
   return opts;
+}
+
+BenchProvenance collect_provenance() {
+  BenchProvenance p;
+  p.hardware_threads = std::thread::hardware_concurrency();
+  std::ifstream is("/proc/cpuinfo");
+  std::string line;
+  p.cpu_model = "unknown";
+  while (std::getline(is, line)) {
+    if (line.find("model name") == std::string::npos) continue;
+    const auto colon = line.find(':');
+    if (colon == std::string::npos) break;
+    std::string name = line.substr(colon + 1);
+    const auto first = name.find_first_not_of(" \t");
+    p.cpu_model = first == std::string::npos ? name : name.substr(first);
+    break;
+  }
+  p.compiler = __VERSION__;
+#ifdef REFIT_BENCH_CXX_FLAGS
+  p.cxx_flags = REFIT_BENCH_CXX_FLAGS;
+#endif
+#ifdef REFIT_BENCH_BUILD_TYPE
+  p.build_type = REFIT_BENCH_BUILD_TYPE;
+#endif
+  return p;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+void write_provenance_header(std::ostream& os, const std::string& bench_name,
+                             const BenchProvenance& p) {
+  os << "{\n";
+  os << "  \"bench\": \"" << json_escape(bench_name) << "\",\n";
+  os << "  \"provenance\": {\n";
+  os << "    \"hardware_threads\": " << p.hardware_threads << ",\n";
+  os << "    \"cpu_model\": \"" << json_escape(p.cpu_model) << "\",\n";
+  os << "    \"compiler\": \"" << json_escape(p.compiler) << "\"";
+  if (!p.cxx_flags.empty()) {
+    os << ",\n    \"cxx_flags\": \"" << json_escape(p.cxx_flags) << "\"";
+  }
+  if (!p.build_type.empty()) {
+    os << ",\n    \"build_type\": \"" << json_escape(p.build_type) << "\"";
+  }
+  os << "\n  },\n";
+  os << "  \"hardware_threads\": " << p.hardware_threads << ",\n";
+}
+
+std::string bench_out_path(const std::string& default_path) {
+  const char* env = std::getenv("REFIT_BENCH_OUT");
+  return env != nullptr ? std::string(env) : default_path;
 }
 
 void write_obs(const ObsOptions& opts) {

@@ -110,4 +110,30 @@ ObsOptions init_obs(int argc, char** argv);
 /// options that were not requested.
 void write_obs(const ObsOptions& opts);
 
+/// Hardware/compiler provenance for BENCH_*.json artifacts — the same
+/// fields bench_backend stamps, so artifacts from one host are directly
+/// comparable. cxx_flags/build_type are filled from the target's
+/// REFIT_BENCH_CXX_FLAGS / REFIT_BENCH_BUILD_TYPE compile definitions
+/// when present.
+struct BenchProvenance {
+  std::size_t hardware_threads = 0;
+  std::string cpu_model;
+  std::string compiler;
+  std::string cxx_flags;
+  std::string build_type;
+};
+[[nodiscard]] BenchProvenance collect_provenance();
+
+/// Escape `"` and `\` for embedding in a JSON string literal.
+[[nodiscard]] std::string json_escape(const std::string& s);
+
+/// Emit the shared artifact preamble: the opening brace, "bench" name, the
+/// provenance object, and top-level hardware_threads (trailing comma
+/// included — the caller continues with its own fields).
+void write_provenance_header(std::ostream& os, const std::string& bench_name,
+                             const BenchProvenance& p);
+
+/// Artifact output path: REFIT_BENCH_OUT overrides `default_path`.
+[[nodiscard]] std::string bench_out_path(const std::string& default_path);
+
 }  // namespace refit::bench

@@ -73,7 +73,9 @@ record flow $flow_rc
 
 banner "bench-smoke: figure benches under REFIT_FAST=1"
 bench_rc=0
-for b in fig1_motivation fig6_detection fig7a_entire_cnn fig7b_fc_only; do
+for b in fig1_motivation fig6_detection fig7a_entire_cnn fig7b_fc_only \
+         ablation_modulo ablation_remap ablation_wear_leveling \
+         ablation_detection_period ablation_ir_drop; do
   if REFIT_FAST=1 "./build/bench/$b" > /dev/null; then
     echo "  $b OK"
   else
@@ -81,6 +83,20 @@ for b in fig1_motivation fig6_detection fig7a_entire_cnn fig7b_fc_only; do
     bench_rc=1
   fi
 done
+# Device/encoding bench: runs the three scenario families and must emit a
+# parseable BENCH_device.json (provenance header + results array).
+device_json=$(mktemp)
+if REFIT_FAST=1 REFIT_BENCH_OUT="$device_json" ./build/bench/soft_faults \
+     > /dev/null 2>&1 &&
+   python3 -c "import json,sys; d = json.load(open(sys.argv[1]));
+assert d['bench'] == 'device' and d['results'], 'empty device results'
+assert 'provenance' in d, 'missing provenance header'" "$device_json"; then
+  echo "  soft_faults OK ($(grep -c '"family"' "$device_json") rows)"
+else
+  echo "  soft_faults FAILED"
+  bench_rc=1
+fi
+rm -f "$device_json"
 # Golden-GEMM gate: the deterministic matmul_512 output hash in the backend
 # bench must match bench/gemm_golden_hash.txt. Any kernel change that alters
 # bits fails here; regenerate the golden file only with a bit-identity
@@ -140,15 +156,17 @@ if cmake -B build-asan -S . -DREFIT_SANITIZE=address,undefined &&
 fi
 record asan-ubsan $asan_rc
 
-banner "tsan: parallel backend tests under TSan (REFIT_THREADS=4, fast reduce)"
+banner "tsan: backend + device tests under TSan (REFIT_THREADS=4, fast reduce)"
 # REFIT_FAST_REDUCE=1 exercises the opt-in fast reduction mode under TSan;
 # the backend determinism assertions still hold because fast mode is
-# thread-count-invariant per element (see docs/kernels.md).
+# thread-count-invariant per element (see docs/kernels.md). The Device
+# suites cover the tile-parallel tick_noise / classify_soft paths.
 tsan_rc=1
 if cmake -B build-tsan -S . -DREFIT_SANITIZE=thread &&
-   cmake --build build-tsan -j --target test_backend &&
+   cmake --build build-tsan -j --target test_backend test_device &&
    (cd build-tsan &&
-    REFIT_THREADS=4 REFIT_FAST_REDUCE=1 ctest --output-on-failure -R '^Backend'); then
+    REFIT_THREADS=4 REFIT_FAST_REDUCE=1 ctest --output-on-failure \
+      -R '^Backend|^Device'); then
   tsan_rc=0
 fi
 record tsan $tsan_rc

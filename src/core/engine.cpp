@@ -62,6 +62,20 @@ void TrainStepPhase::run(EngineContext& ctx) {
   ctx.net->zero_grad();
 }
 
+// ---- DeviceTickPhase -----------------------------------------------------
+
+bool DeviceTickPhase::due(const EngineContext& ctx) const {
+  const FtFlowConfig& cfg = *ctx.cfg;
+  return ctx.rcs != nullptr && cfg.device_tick_period > 0 &&
+         ctx.iteration % cfg.device_tick_period == 0;
+}
+
+void DeviceTickPhase::run(EngineContext& ctx) {
+  for (CrossbarWeightStore* store : ctx.rcs->stores()) {
+    store->tick_noise();
+  }
+}
+
 // ---- DetectionPhase ------------------------------------------------------
 
 bool DetectionPhase::due(const EngineContext& ctx) const {
@@ -82,10 +96,37 @@ void DetectionPhase::run(EngineContext& ctx) {
 
   // "On-line detection": per-store quiescent-voltage testing → F of §5.2.
   const QuiescentVoltageDetector detector(cfg.detector);
+  const bool classify = cfg.detector.classify_soft;
   ConfusionCounts confusion;
+  ClassifiedConfusion classified;
   for (CrossbarWeightStore* store : rcs.stores()) {
     DetectionOutcome outcome = detector.detect_store(*store);
-    confusion += evaluate_detection(*store, outcome.predicted);
+    if (classify) {
+      // Classification scrubbed the transient pins, so score against the
+      // pre-detection snapshot (post-detection truth has them healthy).
+      for (std::size_t r = 0; r < outcome.predicted.rows(); ++r) {
+        for (std::size_t c = 0; c < outcome.predicted.cols(); ++c) {
+          confusion.add(outcome.truth_before.faulty(r, c),
+                        outcome.predicted.faulty(r, c));
+        }
+      }
+      const ClassifiedConfusion cc = evaluate_classified(outcome);
+      classified.hard += cc.hard;
+      classified.soft += cc.soft;
+      ev.cells_retested += outcome.cells_retested;
+      // Hand re-mapping and write-skipping only the permanent faults: the
+      // classified-soft cells are healthy again after the scrub.
+      for (std::size_t r = 0; r < outcome.predicted.rows(); ++r) {
+        for (std::size_t c = 0; c < outcome.predicted.cols(); ++c) {
+          if (outcome.classified_soft.faulty(r, c)) {
+            outcome.predicted.set(r, c, FaultKind::kNone);
+            ++ev.soft_detected;
+          }
+        }
+      }
+    } else {
+      confusion += evaluate_detection(*store, outcome.predicted);
+    }
     ctx.detected[store] = std::move(outcome.predicted);
     ev.cycles += outcome.cycles;
     ev.detection_writes += outcome.device_writes;
@@ -99,6 +140,24 @@ void DetectionPhase::run(EngineContext& ctx) {
       obs::MetricsRegistry::instance().gauge("detector.recall");
   precision_gauge.set(ev.precision);
   recall_gauge.set(ev.recall);
+  if (classify) {
+    ev.hard_precision = classified.hard.precision();
+    ev.hard_recall = classified.hard.recall();
+    ev.soft_precision = classified.soft.precision();
+    ev.soft_recall = classified.soft.recall();
+    static obs::Gauge hard_p_gauge =
+        obs::MetricsRegistry::instance().gauge("detector.precision.hard");
+    static obs::Gauge hard_r_gauge =
+        obs::MetricsRegistry::instance().gauge("detector.recall.hard");
+    static obs::Gauge soft_p_gauge =
+        obs::MetricsRegistry::instance().gauge("detector.precision.soft");
+    static obs::Gauge soft_r_gauge =
+        obs::MetricsRegistry::instance().gauge("detector.recall.soft");
+    hard_p_gauge.set(ev.hard_precision);
+    hard_r_gauge.set(ev.hard_recall);
+    soft_p_gauge.set(ev.soft_precision);
+    soft_r_gauge.set(ev.soft_recall);
+  }
 
   // "Generate pruning": compute the masks from the off-chip target weights
   // *before* any read-back, so the mask reflects functional importance (the
@@ -181,6 +240,7 @@ FtEngine::FtEngine(FtFlowConfig cfg, std::vector<std::unique_ptr<Phase>> phases)
 std::vector<std::unique_ptr<Phase>> FtEngine::standard_phases(
     const FtFlowConfig& cfg) {
   std::vector<std::unique_ptr<Phase>> phases;
+  phases.push_back(std::make_unique<DeviceTickPhase>());
   phases.push_back(std::make_unique<DetectionPhase>());
   phases.push_back(std::make_unique<RemapPhase>());
   phases.push_back(std::make_unique<TrainStepPhase>(cfg));
@@ -435,7 +495,8 @@ bool FtEngine::load_checkpoint(Network& net, RcsSystem* rcs,
   REFIT_CHECK_MSG(saved_cfg.iterations == cfg_.iterations &&
                       saved_cfg.batch_size == cfg_.batch_size &&
                       saved_cfg.detection_period == cfg_.detection_period &&
-                      saved_cfg.eval_period == cfg_.eval_period,
+                      saved_cfg.eval_period == cfg_.eval_period &&
+                      saved_cfg.device_tick_period == cfg_.device_tick_period,
                   "engine checkpoint was written with a different config");
 
   ctx_ = EngineContext{};

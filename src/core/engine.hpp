@@ -71,6 +71,13 @@ struct FtFlowConfig {
   /// Evaluation cadence (test-subset accuracy snapshots).
   std::size_t eval_period = 100;
   std::size_t eval_samples = 512;
+
+  /// Advance device time (drift / soft-fault decay+injection, see
+  /// rcs/crossbar_store.hpp tick_noise) every this many iterations; 0
+  /// disables the phase entirely — the default, and bit-identical to the
+  /// pre-device-model engine. Only has an effect when the stores' noise
+  /// config is active.
+  std::size_t device_tick_period = 0;
 };
 
 /// One detection/re-mapping phase record.
@@ -82,6 +89,13 @@ struct PhaseEvent {
   double recall = 1.0;
   double remap_cost_before = 0.0;
   double remap_cost_after = 0.0;
+  // Populated only when detector.classify_soft (defaults = perfect/empty):
+  double hard_precision = 1.0;
+  double hard_recall = 1.0;
+  double soft_precision = 1.0;
+  double soft_recall = 1.0;
+  std::uint64_t cells_retested = 0;
+  std::uint64_t soft_detected = 0;  ///< cells classified transient + scrubbed
 };
 
 /// Full training trace + endurance statistics.
@@ -196,6 +210,17 @@ class TrainStepPhase final : public Phase {
   ThresholdTrainer updater_;
 };
 
+/// Device-time advance: every device_tick_period iterations each store's
+/// conductances drift, transient faults decay, and new ones may strike
+/// (rcs/crossbar_store.hpp tick_noise). Placed before detection so a
+/// detection iteration tests the post-tick device.
+class DeviceTickPhase final : public Phase {
+ public:
+  [[nodiscard]] const char* name() const override { return "device-tick"; }
+  [[nodiscard]] bool due(const EngineContext& ctx) const override;
+  void run(EngineContext& ctx) override;
+};
+
 /// On-line quiescent-voltage detection over every store, pruning-mask
 /// refresh, targeted read-back, prune write-back (Fig. 2, right side).
 class DetectionPhase final : public Phase {
@@ -230,8 +255,9 @@ class FtEngine {
   /// Engine with a custom phase list (related-work flows plug in here).
   FtEngine(FtFlowConfig cfg, std::vector<std::unique_ptr<Phase>> phases);
 
-  /// The standard four-phase list (detection → remap → train → eval; the
-  /// per-iteration order of the monolithic flow this engine replaced).
+  /// The standard phase list (device-tick → detection → remap → train →
+  /// eval; the per-iteration order of the monolithic flow this engine
+  /// replaced, with device time advancing before anything observes it).
   [[nodiscard]] static std::vector<std::unique_ptr<Phase>> standard_phases(
       const FtFlowConfig& cfg);
 

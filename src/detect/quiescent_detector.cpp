@@ -182,6 +182,15 @@ DetectionOutcome QuiescentVoltageDetector::detect(Crossbar& xbar) const {
     return stored;
   };
 
+  if (cfg_.classify_soft) {
+    // Snapshot truth before the first pulse: classification scrubs soft
+    // faults, so this is the reference evaluate_classified scores against.
+    out.truth_before = FaultMatrix(rows, cols);
+    for (std::size_t r = 0; r < rows; ++r)
+      for (std::size_t c = 0; c < cols; ++c)
+        out.truth_before.set(r, c, xbar.fault(r, c));
+  }
+
   // SA0 pass: stuck at the lowest level, tested with a +δw increment.
   {
     const auto stored = read_all();
@@ -193,6 +202,55 @@ DetectionOutcome QuiescentVoltageDetector::detect(Crossbar& xbar) const {
     const auto stored = read_all();
     run_pass(xbar, static_cast<int>(xbar.config().levels) - 1, /*pulse=*/-1,
              stored, out.predicted, out);
+  }
+
+  if (cfg_.classify_soft) {
+    // Confirmation pass: give every predicted cell one strong pulse one
+    // level away from its pinned value. A hard-stuck cell suppresses the
+    // write and reads back unchanged; a transiently pinned cell re-forms,
+    // moves, and is scrubbed back to its read-out value. Each re-test is
+    // one write plus one ADC read in its own cycle.
+    out.classified_soft = FaultMatrix(rows, cols);
+    const double gap = xbar.config().level_gap();
+    for (std::size_t r = 0; r < rows; ++r) {
+      for (std::size_t c = 0; c < cols; ++c) {
+        if (!out.predicted.faulty(r, c)) continue;
+        ++out.cells_retested;
+        ++out.cycles;
+        const FaultKind pk = out.predicted.at(r, c);
+        const int dir = pk == FaultKind::kStuckAt1 ? -1 : +1;
+        const int l0 = xbar.read_level(r, c);
+        const double g0 = static_cast<double>(l0) * gap;
+        // The scrub pulse is the detector's own confirmation primitive
+        // (crossbar.hpp strong_write contract).
+        // refit-lint: allow(device-encoding)
+        xbar.strong_write(r, c, g0 + dir * gap);
+        ++out.device_writes;
+        const int l1 = xbar.read_level(r, c);
+        ++out.adc_reads;
+        if (l1 != l0) {
+          out.classified_soft.set(r, c,
+                                  pk == FaultKind::kStuckAt1
+                                      ? FaultKind::kSoftStuck1
+                                      : FaultKind::kSoftStuck0);
+          // Undo the probe: the cell is healthy again, put the pinned-era
+          // read-out back so training resumes from what the weight decoded
+          // to (the next logical write reprograms it from target anyway).
+          xbar.write(r, c, g0);
+          ++out.device_writes;
+        }
+      }
+    }
+    static obs::Counter retests_metric = obs::MetricsRegistry::instance()
+        .counter("detector.cells_retested", "cells");
+    static obs::Counter soft_metric = obs::MetricsRegistry::instance().counter(
+        "detector.soft_classified", "cells");
+    retests_metric.add(out.cells_retested);
+    std::size_t nsoft = 0;
+    for (std::size_t r = 0; r < rows; ++r)
+      for (std::size_t c = 0; c < cols; ++c)
+        if (out.classified_soft.faulty(r, c)) ++nsoft;
+    soft_metric.add(nsoft);
   }
   // Telemetry (docs/observability.md). detect() runs on pool lanes when
   // fanned out by detect_store; the handles are relaxed atomics, so the
@@ -216,34 +274,97 @@ DetectionOutcome QuiescentVoltageDetector::detect_store(
     CrossbarWeightStore& store) const {
   DetectionOutcome out;
   out.predicted = FaultMatrix(store.rows(), store.cols());
+  const bool classify = cfg_.classify_soft;
+  if (classify) {
+    out.classified_soft = FaultMatrix(store.rows(), store.cols());
+    out.truth_before = FaultMatrix(store.rows(), store.cols());
+  }
   // Tiles are embarrassingly parallel: each owns its RNG, its pulses stay
   // inside the tile, and its predictions land in a disjoint physical block
   // of the store-level map. The grid's for_each_tile fans the per-tile
   // detections across the pool; outcomes are kept in slots and merged in
-  // tile order below, so totals are deterministic at any thread count.
+  // tile order below, so totals are deterministic at any thread count. A
+  // differential store's two leg planes cover the same physical block, so
+  // one lane tests both serially.
+  const std::size_t legs = store.legs();
   const TileGrid& grid = store.grid();
-  std::vector<DetectionOutcome> tile_out(grid.tile_count());
+  std::vector<DetectionOutcome> tile_p(grid.tile_count());
+  std::vector<DetectionOutcome> tile_n(legs == 2 ? grid.tile_count() : 0);
   grid.for_each_tile([&](const TileSpan& span) {
-    tile_out[span.index] = detect(store.tile(span.ti, span.tj));
+    tile_p[span.index] = detect(store.tile(span.ti, span.tj));
+    if (legs == 2) {
+      tile_n[span.index] = detect(store.tile_n(span.ti, span.tj));
+    }
   });
   for (std::size_t t = 0; t < grid.tile_count(); ++t) {
     const TileSpan span = grid.span(t);
     for (std::size_t r = 0; r < span.rows; ++r) {
       for (std::size_t c = 0; c < span.cols; ++c) {
-        out.predicted.set(span.row0 + r, span.col0 + c,
-                          tile_out[t].predicted.at(r, c));
+        const std::size_t pr = span.row0 + r, pc = span.col0 + c;
+        const FaultKind pp = tile_p[t].predicted.at(r, c);
+        const FaultKind pn =
+            legs == 2 ? tile_n[t].predicted.at(r, c) : FaultKind::kNone;
+        out.predicted.set(pr, pc, pp != FaultKind::kNone ? pp : pn);
+        if (!classify) continue;
+        // Truth merge mirrors CrossbarWeightStore::true_fault: hard > soft
+        // > none, G_p leg breaks ties.
+        const FaultKind tp = tile_p[t].truth_before.at(r, c);
+        const FaultKind tn = legs == 2 ? tile_n[t].truth_before.at(r, c)
+                                       : FaultKind::kNone;
+        out.truth_before.set(
+            pr, pc,
+            fault_is_hard(tp) ? tp
+            : fault_is_hard(tn) ? tn
+            : (tp != FaultKind::kNone ? tp : tn));
+        // The weight is only transiently impaired if every leg that tripped
+        // the detector was classified soft — one hard leg pins it for good.
+        const bool p_pred = pp != FaultKind::kNone;
+        const bool n_pred = pn != FaultKind::kNone;
+        const bool p_soft = p_pred && tile_p[t].classified_soft.faulty(r, c);
+        const bool n_soft = n_pred && tile_n[t].classified_soft.faulty(r, c);
+        if ((p_pred || n_pred) && (!p_pred || p_soft) && (!n_pred || n_soft)) {
+          out.classified_soft.set(pr, pc,
+                                  p_pred
+                                      ? tile_p[t].classified_soft.at(r, c)
+                                      : tile_n[t].classified_soft.at(r, c));
+        }
       }
     }
-    out.cycles += tile_out[t].cycles;
-    out.cells_tested += tile_out[t].cells_tested;
-    out.device_writes += tile_out[t].device_writes;
-    out.adc_reads += tile_out[t].adc_reads;
+    out.cycles += tile_p[t].cycles;
+    out.cells_tested += tile_p[t].cells_tested;
+    out.device_writes += tile_p[t].device_writes;
+    out.adc_reads += tile_p[t].adc_reads;
+    out.cells_retested += tile_p[t].cells_retested;
+    if (legs == 2) {
+      out.cycles += tile_n[t].cycles;
+      out.cells_tested += tile_n[t].cells_tested;
+      out.device_writes += tile_n[t].device_writes;
+      out.adc_reads += tile_n[t].adc_reads;
+      out.cells_retested += tile_n[t].cells_retested;
+    }
   }
   static obs::Counter rounds_metric =
       obs::MetricsRegistry::instance().counter("detector.rounds", "rounds");
   rounds_metric.add();
   store.invalidate();
   return out;
+}
+
+ClassifiedConfusion evaluate_classified(const DetectionOutcome& out) {
+  REFIT_CHECK_MSG(out.truth_before.rows() == out.predicted.rows() &&
+                      out.truth_before.cols() == out.predicted.cols(),
+                  "evaluate_classified needs a classify_soft outcome");
+  ClassifiedConfusion cc;
+  for (std::size_t r = 0; r < out.predicted.rows(); ++r) {
+    for (std::size_t c = 0; c < out.predicted.cols(); ++c) {
+      const FaultKind truth = out.truth_before.at(r, c);
+      const bool pred_soft = out.classified_soft.faulty(r, c);
+      const bool pred_hard = out.predicted.faulty(r, c) && !pred_soft;
+      cc.hard.add(fault_is_hard(truth), pred_hard);
+      cc.soft.add(fault_is_soft(truth), pred_soft);
+    }
+  }
+  return cc;
 }
 
 ConfusionCounts evaluate_detection(const Crossbar& xbar,

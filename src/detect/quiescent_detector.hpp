@@ -43,6 +43,12 @@ struct DetectorConfig {
   bool selected_cells_only = true;
   /// Enable the exact constraint-propagation rules in the decoder.
   bool use_constraint_propagation = true;
+  /// Re-test every predicted-faulty cell with a strong programming pulse to
+  /// split hard (permanent) from soft (transient) faults: a cell that moves
+  /// under the strong pulse was only transiently pinned — it is scrubbed
+  /// and reported in DetectionOutcome::classified_soft instead of being
+  /// handed to re-mapping. Off by default (extra pulses cost endurance).
+  bool classify_soft = false;
 
   [[nodiscard]] std::size_t tc() const {
     return test_cols_per_cycle == 0 ? test_rows_per_cycle
@@ -57,6 +63,16 @@ struct DetectionOutcome {
   std::size_t cells_tested = 0;    ///< candidate cells pulsed
   std::uint64_t device_writes = 0; ///< ±δw pulses issued (endurance cost)
   std::uint64_t adc_reads = 0;     ///< group read-outs digitized by the ADC
+  // Populated only when cfg.classify_soft:
+  /// Predicted cells the re-test pass found transient (subset of
+  /// predicted's faulty set; these were scrubbed in place).
+  FaultMatrix classified_soft;
+  /// Ground-truth snapshot taken before any test pulse — classification
+  /// scrubs soft faults, so evaluating against post-detection truth would
+  /// erase exactly the positives being scored (see evaluate_classified).
+  FaultMatrix truth_before;
+  /// Cells given the strong re-test pulse.
+  std::size_t cells_retested = 0;
 };
 
 /// The quiescent-voltage comparison detector.
@@ -92,6 +108,16 @@ ConfusionCounts evaluate_detection(const Crossbar& xbar,
 /// Compare a store-level prediction against the store's ground truth.
 ConfusionCounts evaluate_detection(const CrossbarWeightStore& store,
                                    const FaultMatrix& predicted);
+
+/// Per-class detection quality of a classify_soft run: the hard counts
+/// score (predicted ∧ ¬classified_soft) against hard ground truth, the
+/// soft counts score classified_soft against soft ground truth — both
+/// relative to the pre-detection snapshot in DetectionOutcome::truth_before.
+struct ClassifiedConfusion {
+  ConfusionCounts hard;
+  ConfusionCounts soft;
+};
+ClassifiedConfusion evaluate_classified(const DetectionOutcome& out);
 
 /// Program a crossbar with random level content for standalone detection
 /// experiments: `p_low` of the cells at the lowest level (high resistance),

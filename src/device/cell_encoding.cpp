@@ -1,0 +1,79 @@
+// Cell-encoding implementations (see cell_encoding.hpp).
+#include "device/cell_encoding.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace refit {
+
+namespace {
+
+/// The paper's mapping: one cell per weight, magnitude as conductance,
+/// sign in a peripheral register. encode/decode reproduce the pre-seam
+/// store's expressions token for token — the bit-identity guarantee of
+/// docs/device_model.md rests on these two functions.
+class SingleCellEncoding final : public CellEncoding {
+ public:
+  [[nodiscard]] EncodingKind kind() const override {
+    return EncodingKind::kSingleCell;
+  }
+  [[nodiscard]] std::size_t legs() const override { return 1; }
+
+  void encode(float target, double weight_max, double* g) const override {
+    g[0] = std::fabs(target) / weight_max;
+  }
+
+  [[nodiscard]] float decode(const double* g, float target,
+                             double weight_max) const override {
+    // Peripheral sign register: sign of the last written target. SA1
+    // cells therefore saturate at ±weight_max, SA0 cells read as 0.
+    const float sign = target < 0.0f ? -1.0f : 1.0f;
+    return sign * static_cast<float>(g[0] * weight_max);
+  }
+};
+
+/// Differential pair: w = (g_p − g_n) · weight_max. Positive weights
+/// occupy the p leg, negative the n leg; the idle leg is programmed to 0.
+/// No sign register exists — a stuck-at fault pins one leg and the decode
+/// difference carries the corruption with its sign.
+class DifferentialPairEncoding final : public CellEncoding {
+ public:
+  [[nodiscard]] EncodingKind kind() const override {
+    return EncodingKind::kDifferentialPair;
+  }
+  [[nodiscard]] std::size_t legs() const override { return 2; }
+
+  void encode(float target, double weight_max, double* g) const override {
+    const double mag = std::fabs(target) / weight_max;
+    if (target < 0.0f) {
+      g[0] = 0.0;
+      g[1] = mag;
+    } else {
+      g[0] = mag;
+      g[1] = 0.0;
+    }
+  }
+
+  [[nodiscard]] float decode(const double* g, float /*target*/,
+                             double weight_max) const override {
+    return static_cast<float>((g[0] - g[1]) * weight_max);
+  }
+};
+
+}  // namespace
+
+const CellEncoding& CellEncoding::of(EncodingKind kind) {
+  static const SingleCellEncoding kSingle;
+  static const DifferentialPairEncoding kDifferential;
+  switch (kind) {
+    case EncodingKind::kSingleCell:
+      return kSingle;
+    case EncodingKind::kDifferentialPair:
+      return kDifferential;
+  }
+  REFIT_CHECK_MSG(false, "unknown EncodingKind");
+  return kSingle;
+}
+
+}  // namespace refit

@@ -1,0 +1,68 @@
+// CellEncoding — the weight→conductance mapping seam of the device layer.
+//
+// A weight matrix entry w must become one or more programmed conductances
+// g ∈ [0, 1], and faulty conductances must be read back into an effective
+// weight. The DAC'17 paper hard-wires one choice (single cell, |w| as the
+// conductance, sign in a peripheral CMOS register); the differential
+// G_p/G_n pair of the related crossbar-mapping literature is a second
+// choice with different stuck-at semantics. This interface makes the
+// choice explicit so CrossbarWeightStore can parameterize on it:
+//
+//   SingleCellEncoding      one cell per weight, g = |w| / weight_max,
+//                           sign off-chip. SA0 pins the weight to 0 (which
+//                           is why pruned zeros can host SA0 cells for
+//                           free); SA1 pins it to ±weight_max. Decode is
+//                           arithmetic-identical to the pre-seam store, so
+//                           this encoding is bit-identical to the original
+//                           implementation (see docs/device_model.md).
+//   DifferentialPairEncoding two cells per weight, w = (g_p − g_n) ·
+//                           weight_max, no sign register. A stuck-at fault
+//                           pins one leg only: SA0 on the occupied leg
+//                           zeroes the weight, SA1 on the empty leg drives
+//                           it to the opposite rail.
+//
+// Encodings are stateless singletons (of()); the store stores only the
+// EncodingKind, which serializes as a POD enum inside RcsConfig.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace refit {
+
+/// Serializable identifier of a CellEncoding implementation.
+enum class EncodingKind : std::uint8_t {
+  kSingleCell = 0,
+  kDifferentialPair = 1,
+};
+
+/// Upper bound on legs() across all encodings — callers size their
+/// conductance scratch buffers with this.
+inline constexpr std::size_t kMaxEncodingLegs = 2;
+
+/// Weight↔conductance mapping contract. Implementations are stateless and
+/// shared; all methods are pure functions of their arguments.
+class CellEncoding {
+ public:
+  virtual ~CellEncoding() = default;
+
+  [[nodiscard]] virtual EncodingKind kind() const = 0;
+  /// Physical cells per logical weight (1 or 2; ≤ kMaxEncodingLegs).
+  [[nodiscard]] virtual std::size_t legs() const = 0;
+
+  /// Target conductances for weight `target` (|target| ≤ weight_max):
+  /// fills g[0..legs()-1] with values in [0, 1].
+  virtual void encode(float target, double weight_max, double* g) const = 0;
+
+  /// Effective weight read back from the (possibly faulty/noisy) device
+  /// conductances g[0..legs()-1]. `target` supplies any off-chip state the
+  /// encoding keeps beside the conductance (the single-cell sign register);
+  /// differential decode ignores it.
+  [[nodiscard]] virtual float decode(const double* g, float target,
+                                     double weight_max) const = 0;
+
+  /// Shared singleton for `kind`.
+  [[nodiscard]] static const CellEncoding& of(EncodingKind kind);
+};
+
+}  // namespace refit

@@ -1,0 +1,38 @@
+// Time-dependent device-noise model (see noise_model.hpp).
+#include "device/noise_model.hpp"
+
+#include <cstdint>
+
+#include "obs/metrics.hpp"
+
+namespace refit {
+
+void DeviceNoiseModel::tick_tile(Crossbar& xbar, Rng& rng) const {
+  if (!cfg_.active()) return;
+  xbar.decay_soft_faults();
+  if (cfg_.drift_rate > 0.0) {
+    xbar.drift_toward(cfg_.drift_target, cfg_.drift_rate);
+  }
+  if (cfg_.soft_fault_rate > 0.0) {
+    std::uint64_t injected = 0;
+    for (std::size_t r = 0; r < xbar.rows(); ++r) {
+      for (std::size_t c = 0; c < xbar.cols(); ++c) {
+        // Draw for every cell, stuck or not, so the stream position does
+        // not depend on the current fault state.
+        if (!rng.bernoulli(cfg_.soft_fault_rate)) continue;
+        if (xbar.fault(r, c) != FaultKind::kNone) continue;
+        const FaultKind kind = rng.bernoulli(cfg_.soft_sa0_probability)
+                                   ? FaultKind::kSoftStuck0
+                                   : FaultKind::kSoftStuck1;
+        xbar.force_soft_fault(r, c, kind,
+                              static_cast<std::uint32_t>(cfg_.soft_fault_ttl));
+        ++injected;
+      }
+    }
+    static obs::Counter soft_metric = obs::MetricsRegistry::instance().counter(
+        "device.soft_faults_injected", "faults");
+    soft_metric.add(injected);
+  }
+}
+
+}  // namespace refit

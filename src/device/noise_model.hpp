@@ -1,0 +1,73 @@
+// DeviceNoiseModel — second-generation time-dependent device effects.
+//
+// The base crossbar model (rram/crossbar.hpp) covers programming noise and
+// permanent stuck-at faults. Real arrays additionally exhibit
+//
+//   - conductance relaxation/drift: programmed conductances creep toward a
+//     rest state between refreshes,
+//   - transient (soft) stuck faults: cells that read pinned for a while
+//     and then recover — the fault class "Online Soft Error Tolerance in
+//     ReRAM Crossbars" scrubs rather than re-maps,
+//   - extra programming noise beyond the baseline write variance.
+//
+// DeviceNoiseConfig is a POD knob block embedded in RcsConfig (it rides
+// checkpoints via write_pod); DeviceNoiseModel advances one crossbar tile
+// by one device-time tick. The engine's DeviceTickPhase calls
+// CrossbarWeightStore::tick_noise() every device_tick_period iterations,
+// which fans tick_tile over the tiles with per-tile derived RNG streams —
+// deterministic at any thread count (docs/device_model.md).
+#pragma once
+
+#include <cstddef>
+
+#include "common/rng.hpp"
+#include "rram/crossbar.hpp"
+
+namespace refit {
+
+/// Knobs of the time-dependent device model. All defaults off: a
+/// default-constructed config makes tick_noise() a no-op and adds no
+/// programming noise, so existing configurations are unchanged.
+struct DeviceNoiseConfig {
+  /// Extra Gaussian programming-noise stddev added on top of
+  /// RcsConfig::write_noise_sigma at tile construction.
+  double program_sigma = 0.0;
+  /// Per-tick relaxation rate: g += drift_rate · (drift_target − g) on
+  /// every healthy cell. 0 disables drift.
+  double drift_rate = 0.0;
+  /// Rest conductance the array relaxes toward (0 = HRS, the usual case
+  /// for filamentary RRAM retention loss).
+  double drift_target = 0.0;
+  /// Per-cell probability of a fresh transient stuck fault each tick.
+  double soft_fault_rate = 0.0;
+  /// Ticks a transient fault persists before the cell recovers.
+  std::size_t soft_fault_ttl = 2;
+  /// Probability a transient fault pins low (rest pin high).
+  double soft_sa0_probability = 0.5;
+
+  /// True when any time-dependent effect is enabled.
+  [[nodiscard]] bool active() const {
+    return drift_rate > 0.0 || soft_fault_rate > 0.0;
+  }
+};
+
+/// Advances device time on one tile. Stateless beyond the config; the
+/// caller supplies the RNG stream (one per tile per tick, derived by the
+/// store so results do not depend on tile visit order).
+class DeviceNoiseModel {
+ public:
+  explicit DeviceNoiseModel(const DeviceNoiseConfig& cfg) : cfg_(cfg) {}
+
+  [[nodiscard]] const DeviceNoiseConfig& config() const { return cfg_; }
+
+  /// One tick: existing soft faults decay, healthy cells drift, fresh
+  /// transient faults are injected. Order matters for determinism and is
+  /// part of the contract (decay → drift → inject: a fault injected this
+  /// tick lives its full TTL and pins the pre-drift conductance).
+  void tick_tile(Crossbar& xbar, Rng& rng) const;
+
+ private:
+  DeviceNoiseConfig cfg_;
+};
+
+}  // namespace refit

@@ -34,25 +34,43 @@ double rms(const Tensor& t) {
 
 CrossbarWeightStore::CrossbarWeightStore(const RcsConfig& cfg, Tensor init,
                                          Rng rng)
-    : cfg_(cfg), target_(std::move(init)) {
+    : cfg_(cfg),
+      enc_(&CellEncoding::of(cfg.encoding)),
+      target_(std::move(init)) {
   REFIT_CHECK_MSG(target_.rank() == 2, "crossbar store needs a 2-D matrix");
   REFIT_CHECK(cfg_.tile_rows > 0 && cfg_.tile_cols > 0);
   const std::size_t r = rows(), c = cols();
   weight_max_ = std::max(1e-6, cfg_.weight_clip_multiplier * rms(target_));
 
   grid_ = TileGrid(r, c, cfg_.tile_rows, cfg_.tile_cols);
-  tiles_.reserve(grid_.tile_count());
-  for (std::size_t t = 0; t < grid_.tile_count(); ++t) {
-    const TileSpan span = grid_.span(t);
+  const std::size_t tile_count = grid_.tile_count();
+  const auto make_config = [&](const TileSpan& span) {
     CrossbarConfig xc;
     xc.rows = span.rows;
     xc.cols = span.cols;
     xc.levels = cfg_.levels;
-    xc.write_noise_sigma = cfg_.write_noise_sigma;
+    // Programming noise from the device model stacks on the intrinsic
+    // write variance; both default-zero paths keep today's bits.
+    xc.write_noise_sigma = cfg_.write_noise_sigma + cfg_.noise.program_sigma;
     xc.wire_resistance_ratio = cfg_.wire_resistance_ratio;
-    tiles_.push_back(
-        std::make_unique<Crossbar>(xc, cfg_.endurance, rng.split(t + 1)));
+    return xc;
+  };
+  tiles_.reserve(tile_count);
+  for (std::size_t t = 0; t < tile_count; ++t) {
+    tiles_.push_back(std::make_unique<Crossbar>(
+        make_config(grid_.span(t)), cfg_.endurance, rng.split(t + 1)));
   }
+  if (enc_->legs() == 2) {
+    // The G_n plane's seeds continue past the G_p plane's (split() is pure,
+    // so the extra draws cannot perturb the single-leg stream).
+    tiles_n_.reserve(tile_count);
+    for (std::size_t t = 0; t < tile_count; ++t) {
+      tiles_n_.push_back(std::make_unique<Crossbar>(
+          make_config(grid_.span(t)), cfg_.endurance,
+          rng.split(tile_count + t + 1)));
+    }
+  }
+  noise_rng_ = rng.split(0x6e6f6973ULL);  // "nois"
 
   if (cfg_.inject_fabrication && cfg_.fabrication.fraction > 0.0) {
     Rng fab_rng = rng.split(0xfabfabULL);
@@ -61,6 +79,10 @@ CrossbarWeightStore::CrossbarWeightStore(const RcsConfig& cfg, Tensor init,
     for (std::size_t t = 0; t < tiles_.size(); ++t) {
       Rng tile_rng = fab_rng.split(t + 1);
       inject_fabrication_faults(*tiles_[t], cfg_.fabrication, tile_rng);
+    }
+    for (std::size_t t = 0; t < tiles_n_.size(); ++t) {
+      Rng tile_rng = fab_rng.split(tile_count + t + 1);
+      inject_fabrication_faults(*tiles_n_[t], cfg_.fabrication, tile_rng);
     }
   }
 
@@ -82,11 +104,14 @@ CrossbarWeightStore::CrossbarWeightStore(const RcsConfig& cfg, Tensor init,
   }
   grid_.for_each_tile([&](const TileSpan& span) {
     Crossbar& xb = *tiles_[span.index];
+    Crossbar* xn = tiles_n_.empty() ? nullptr : tiles_n_[span.index].get();
+    double g[kMaxEncodingLegs];
     for (std::size_t lr = 0; lr < span.rows; ++lr) {
       for (std::size_t lc = 0; lc < span.cols; ++lc) {
-        xb.write(lr, lc,
-                 std::fabs(target_.at(span.row0 + lr, span.col0 + lc)) /
-                     weight_max_);
+        enc_->encode(target_.at(span.row0 + lr, span.col0 + lc), weight_max_,
+                     g);
+        xb.write(lr, lc, g[0]);
+        if (xn != nullptr) xn->write(lr, lc, g[1]);
       }
     }
   });
@@ -104,26 +129,52 @@ const Crossbar& CrossbarWeightStore::tile(std::size_t ti,
   return *tiles_[grid_.index_of(ti, tj)];
 }
 
+Crossbar& CrossbarWeightStore::tile_n(std::size_t ti, std::size_t tj) {
+  REFIT_CHECK(ti < grid_.grid_rows() && tj < grid_.grid_cols());
+  REFIT_CHECK_MSG(!tiles_n_.empty(), "tile_n(): encoding has a single leg");
+  return *tiles_n_[grid_.index_of(ti, tj)];
+}
+
+const Crossbar& CrossbarWeightStore::tile_n(std::size_t ti,
+                                            std::size_t tj) const {
+  REFIT_CHECK(ti < grid_.grid_rows() && tj < grid_.grid_cols());
+  REFIT_CHECK_MSG(!tiles_n_.empty(), "tile_n(): encoding has a single leg");
+  return *tiles_n_[grid_.index_of(ti, tj)];
+}
+
 void CrossbarWeightStore::write_logical(std::size_t i, std::size_t j) {
   const TileGrid::Coord tc =
       grid_.locate(map_.physical_row(i), map_.physical_col(j));
   Crossbar& xb = *tiles_[tc.tile];
-  // Diff the tile's running totals around the write so the store-level
+  Crossbar* xn = tiles_n_.empty() ? nullptr : tiles_n_[tc.tile].get();
+  // Diff the tiles' running totals around the write so the store-level
   // aggregates stay exact whether the write lands, is suppressed (stuck
   // cell), or wears the cell out.
-  const std::uint64_t w0 = xb.total_writes();
-  const std::size_t f0 = xb.fault_count();
-  const std::size_t wo0 = xb.wearout_fault_count();
-  xb.write(tc.lr, tc.lc, std::fabs(target_.at(i, j)) / weight_max_);
+  const std::uint64_t w0 =
+      xb.total_writes() + (xn != nullptr ? xn->total_writes() : 0);
+  const std::size_t f0 =
+      xb.fault_count() + (xn != nullptr ? xn->fault_count() : 0);
+  const std::size_t wo0 = xb.wearout_fault_count() +
+                          (xn != nullptr ? xn->wearout_fault_count() : 0);
+  double g[kMaxEncodingLegs];
+  enc_->encode(target_.at(i, j), weight_max_, g);
+  xb.write(tc.lr, tc.lc, g[0]);
+  if (xn != nullptr) xn->write(tc.lr, tc.lc, g[1]);
+  const std::uint64_t w1 =
+      xb.total_writes() + (xn != nullptr ? xn->total_writes() : 0);
+  const std::size_t f1 =
+      xb.fault_count() + (xn != nullptr ? xn->fault_count() : 0);
+  const std::size_t wo1 = xb.wearout_fault_count() +
+                          (xn != nullptr ? xn->wearout_fault_count() : 0);
   static obs::Counter writes_metric =
       obs::MetricsRegistry::instance().counter("store.writes", "writes");
   static obs::Counter wearout_metric = obs::MetricsRegistry::instance().counter(
       "store.wearout_faults", "faults");
-  writes_metric.add(xb.total_writes() - w0);
-  wearout_metric.add(xb.wearout_fault_count() - wo0);
-  writes_agg_ += xb.total_writes() - w0;
-  faults_agg_ += xb.fault_count() - f0;
-  wearout_agg_ += xb.wearout_fault_count() - wo0;
+  writes_metric.add(w1 - w0);
+  wearout_metric.add(wo1 - wo0);
+  writes_agg_ += w1 - w0;
+  faults_agg_ += f1 - f0;
+  wearout_agg_ += wo1 - wo0;
   tile_dirty_[tc.tile] = 1;
   any_dirty_ = true;
   pack_dirty_[tc.tile] = 1;
@@ -151,21 +202,58 @@ void CrossbarWeightStore::resync_counters() {
     faults_agg_ += t->fault_count();
     wearout_agg_ += t->wearout_fault_count();
   }
+  for (const auto& t : tiles_n_) {
+    writes_agg_ += t->total_writes();
+    faults_agg_ += t->fault_count();
+    wearout_agg_ += t->wearout_fault_count();
+  }
+}
+
+std::size_t CrossbarWeightStore::soft_fault_count() const {
+  std::size_t n = 0;
+  for (const auto& t : tiles_) n += t->soft_fault_count();
+  for (const auto& t : tiles_n_) n += t->soft_fault_count();
+  return n;
+}
+
+void CrossbarWeightStore::tick_noise() {
+  if (!cfg_.noise.active()) return;
+  ++noise_ticks_;
+  const DeviceNoiseModel model(cfg_.noise);
+  // One child stream per (tick, tile, leg): split() is pure, so lanes can
+  // tick tiles in any order and the device trajectory stays identical.
+  const Rng tick_rng = noise_rng_.split(noise_ticks_);
+  static obs::Counter ticks_metric =
+      obs::MetricsRegistry::instance().counter("device.ticks", "ticks");
+  ticks_metric.add();
+  grid_.for_each_tile([&](const TileSpan& span) {
+    Rng leg_p = tick_rng.split(span.index * 2 + 1);
+    model.tick_tile(*tiles_[span.index], leg_p);
+    if (!tiles_n_.empty()) {
+      Rng leg_n = tick_rng.split(span.index * 2 + 2);
+      model.tick_tile(*tiles_n_[span.index], leg_n);
+    }
+  });
+  invalidate();
 }
 
 void CrossbarWeightStore::rebuild_tile(const TileSpan& span) {
   const Crossbar& xb = *tiles_[span.index];
+  const Crossbar* xn =
+      tiles_n_.empty() ? nullptr : tiles_n_[span.index].get();
+  double g[kMaxEncodingLegs] = {0.0, 0.0};
   for (std::size_t lr = 0; lr < span.rows; ++lr) {
     const std::size_t i = map_.logical_row(span.row0 + lr);
     for (std::size_t lc = 0; lc < span.cols; ++lc) {
       const std::size_t j = map_.logical_col(span.col0 + lc);
-      // The compute path is analog: the cell's contribution includes its
-      // IR-drop attenuation (identity when the model is disabled).
-      const double g = xb.effective_conductance(lr, lc);
-      // Peripheral sign register: sign of the last written target. SA1
-      // cells therefore saturate at ±weight_max, SA0 cells read as 0.
-      const float sign = target_.at(i, j) < 0.0f ? -1.0f : 1.0f;
-      effective_.at(i, j) = sign * static_cast<float>(g * weight_max_);
+      // The compute path is analog: each leg's contribution includes its
+      // IR-drop attenuation (identity when the model is disabled). The
+      // decode undoes the encoding — single-cell reapplies the peripheral
+      // sign register (SA1 cells saturate at ±weight_max, SA0 read as 0);
+      // differential subtracts the legs.
+      g[0] = xb.effective_conductance(lr, lc);
+      if (xn != nullptr) g[1] = xn->effective_conductance(lr, lc);
+      effective_.at(i, j) = enc_->decode(g, target_.at(i, j), weight_max_);
     }
   }
 }
@@ -198,7 +286,10 @@ void CrossbarWeightStore::rebuild_effective() {
 
 void CrossbarWeightStore::pack_tile(const TileSpan& span) {
   const Crossbar& xb = *tiles_[span.index];
+  const Crossbar* xn =
+      tiles_n_.empty() ? nullptr : tiles_n_[span.index].get();
   const std::size_t k = rows();
+  double g[kMaxEncodingLegs] = {0.0, 0.0};
   for (std::size_t lr = 0; lr < span.rows; ++lr) {
     const std::size_t i = map_.logical_row(span.row0 + lr);
     for (std::size_t lc = 0; lc < span.cols; ++lc) {
@@ -206,10 +297,10 @@ void CrossbarWeightStore::pack_tile(const TileSpan& span) {
       // Exactly rebuild_tile's read-out expression, scattered into the
       // panel slot pack_b would have put W_eff(i, j) in — the fused path
       // and materialize-then-matmul feed the micro-kernel identical bits.
-      const double g = xb.effective_conductance(lr, lc);
-      const float sign = target_.at(i, j) < 0.0f ? -1.0f : 1.0f;
+      g[0] = xb.effective_conductance(lr, lc);
+      if (xn != nullptr) g[1] = xn->effective_conductance(lr, lc);
       packed_eff_[gemm::packed_index(k, i, j)] =
-          sign * static_cast<float>(g * weight_max_);
+          enc_->decode(g, target_.at(i, j), weight_max_);
     }
   }
 }
@@ -312,15 +403,25 @@ void CrossbarWeightStore::assign(const Tensor& w) {
   }
 }
 
-double CrossbarWeightStore::expected_g(std::size_t r, std::size_t c) const {
+double CrossbarWeightStore::expected_g(std::size_t r, std::size_t c,
+                                       std::size_t leg) const {
+  REFIT_CHECK(leg < legs());
   const std::size_t i = map_.logical_row(r);
   const std::size_t j = map_.logical_col(c);
-  return std::fabs(target_.at(i, j)) / weight_max_;
+  double g[kMaxEncodingLegs];
+  enc_->encode(target_.at(i, j), weight_max_, g);
+  return g[leg];
 }
 
 FaultKind CrossbarWeightStore::true_fault(std::size_t r, std::size_t c) const {
   const TileGrid::Coord tc = grid_.locate(r, c);
-  return tiles_[tc.tile]->fault(tc.lr, tc.lc);
+  const FaultKind fp = tiles_[tc.tile]->fault(tc.lr, tc.lc);
+  if (tiles_n_.empty()) return fp;
+  const FaultKind fn = tiles_n_[tc.tile]->fault(tc.lr, tc.lc);
+  // Merge for evaluation: hard > soft > none, G_p leg breaks ties.
+  if (fault_is_hard(fp)) return fp;
+  if (fault_is_hard(fn)) return fn;
+  return fp != FaultKind::kNone ? fp : fn;
 }
 
 FaultMatrix CrossbarWeightStore::true_fault_matrix() const {
@@ -330,15 +431,19 @@ FaultMatrix CrossbarWeightStore::true_fault_matrix() const {
   return fm;
 }
 
-double CrossbarWeightStore::actual_g(std::size_t r, std::size_t c) const {
+double CrossbarWeightStore::actual_g(std::size_t r, std::size_t c,
+                                     std::size_t leg) const {
+  REFIT_CHECK(leg < legs());
   const TileGrid::Coord tc = grid_.locate(r, c);
-  return tiles_[tc.tile]->conductance(tc.lr, tc.lc);
+  const Crossbar& xb = leg == 0 ? *tiles_[tc.tile] : *tiles_n_[tc.tile];
+  return xb.conductance(tc.lr, tc.lc);
 }
 
 void CrossbarWeightStore::pulse_physical(std::size_t r, std::size_t c,
-                                         double delta_g) {
+                                         double delta_g, std::size_t leg) {
+  REFIT_CHECK(leg < legs());
   const TileGrid::Coord tc = grid_.locate(r, c);
-  Crossbar& xb = *tiles_[tc.tile];
+  Crossbar& xb = leg == 0 ? *tiles_[tc.tile] : *tiles_n_[tc.tile];
   const std::uint64_t w0 = xb.total_writes();
   const std::size_t f0 = xb.fault_count();
   const std::size_t wo0 = xb.wearout_fault_count();
@@ -425,6 +530,10 @@ void CrossbarWeightStore::save(std::ostream& os) const {
   ser::write_pod<std::uint64_t>(os, grid_.grid_cols());
   map_.save(os);
   for (const auto& t : tiles_) t->save(os);
+  // The G_n plane's presence is implied by cfg_.encoding (already written).
+  for (const auto& t : tiles_n_) t->save(os);
+  ser::write_pod(os, noise_rng_.state());
+  ser::write_pod(os, noise_ticks_);
 }
 
 void CrossbarWeightStore::read_from(std::istream& is) {
@@ -441,11 +550,21 @@ void CrossbarWeightStore::read_from(std::istream& is) {
   map_ = LogicalMapping::load(is);
   REFIT_CHECK_MSG(map_.rows() == rows() && map_.cols() == cols(),
                   "corrupt store checkpoint (permutations)");
+  enc_ = &CellEncoding::of(cfg_.encoding);
   tiles_.clear();
   tiles_.reserve(grid_.tile_count());
   for (std::size_t t = 0; t < grid_.tile_count(); ++t) {
     tiles_.push_back(std::make_unique<Crossbar>(Crossbar::load(is)));
   }
+  tiles_n_.clear();
+  if (enc_->legs() == 2) {
+    tiles_n_.reserve(grid_.tile_count());
+    for (std::size_t t = 0; t < grid_.tile_count(); ++t) {
+      tiles_n_.push_back(std::make_unique<Crossbar>(Crossbar::load(is)));
+    }
+  }
+  noise_rng_.set_state(ser::read_pod<Rng::State>(is));
+  noise_ticks_ = ser::read_pod<std::uint64_t>(is);
   tile_dirty_.assign(tiles_.size(), 1);
   any_dirty_ = true;
   effective_ = Tensor();
@@ -478,8 +597,10 @@ std::uint64_t CrossbarWeightStore::cell_write_count(std::size_t i,
 }
 
 double CrossbarWeightStore::fault_fraction() const {
+  // faults_agg_ spans every tile plane, so normalize by physical cells
+  // (identical to the logical count for single-leg encodings).
   return static_cast<double>(fault_count()) /
-         static_cast<double>(cell_count());
+         static_cast<double>(physical_cell_count());
 }
 
 }  // namespace refit

@@ -1,13 +1,20 @@
 // CrossbarWeightStore — a WeightStore backed by RRAM crossbar tiles (S5).
 //
 // Mapping model (DESIGN.md §5): a logical weight matrix W [fan_in, fan_out]
-// is partitioned onto a grid of crossbar tiles (default 128×128). Each cell
-// stores the weight *magnitude* as a conductance in [0, 1] scaled by the
-// layer's weight_max; the sign lives in a peripheral register (CMOS, never
-// faulty). Consequences, matching the paper's semantics:
-//   - SA0 pins the effective weight to 0 — which is why pruned (zero)
-//     weights can be re-mapped onto SA0 cells for free;
-//   - SA1 pins it to ±weight_max (sign preserved).
+// is partitioned onto a grid of crossbar tiles (default 128×128). How a
+// weight becomes conductance(s) is the CellEncoding seam
+// (device/cell_encoding.hpp):
+//   - kSingleCell (the paper's model, default): the magnitude as one
+//     conductance scaled by the layer's weight_max; the sign lives in a
+//     peripheral register (CMOS, never faulty). SA0 pins the effective
+//     weight to 0 — which is why pruned (zero) weights can be re-mapped
+//     onto SA0 cells for free; SA1 pins it to ±weight_max (sign
+//     preserved). Bit-identical to the pre-seam store.
+//   - kDifferentialPair: two tile planes (G_p and G_n legs, identical
+//     geometry); w = (g_p − g_n)·weight_max, no sign register, a stuck-at
+//     fault pins one leg.
+// Time-dependent effects (drift, transient soft faults) come from the
+// DeviceNoiseModel (device/noise_model.hpp) through tick_noise().
 //
 // The tile geometry lives in a TileGrid (rcs/tile_grid.hpp) and the
 // logical↔physical permutations in a LogicalMapping
@@ -24,6 +31,8 @@
 #include <memory>
 #include <vector>
 
+#include "device/cell_encoding.hpp"
+#include "device/noise_model.hpp"
 #include "nn/weight_store.hpp"
 #include "rcs/logical_mapping.hpp"
 #include "rcs/tile_grid.hpp"
@@ -52,6 +61,11 @@ struct RcsConfig {
   FaultInjectionConfig fabrication{};
   /// weight_max = multiplier × RMS(initial weights); weights clip there.
   double weight_clip_multiplier = 4.0;
+  /// Weight→conductance mapping (device/cell_encoding.hpp).
+  EncodingKind encoding = EncodingKind::kSingleCell;
+  /// Time-dependent device effects (device/noise_model.hpp); the defaults
+  /// disable them all, so tick_noise() is a no-op unless configured.
+  DeviceNoiseConfig noise{};
 };
 
 /// Weight matrix on RRAM crossbar tiles.
@@ -93,18 +107,29 @@ class CrossbarWeightStore final : public WeightStore {
   }
   [[nodiscard]] Crossbar& tile(std::size_t ti, std::size_t tj);
   [[nodiscard]] const Crossbar& tile(std::size_t ti, std::size_t tj) const;
+  /// The second (G_n) tile plane; only valid when legs() == 2.
+  [[nodiscard]] Crossbar& tile_n(std::size_t ti, std::size_t tj);
+  [[nodiscard]] const Crossbar& tile_n(std::size_t ti, std::size_t tj) const;
   [[nodiscard]] const RcsConfig& config() const { return cfg_; }
   [[nodiscard]] double weight_max() const { return weight_max_; }
+  [[nodiscard]] const CellEncoding& encoding() const { return *enc_; }
+  /// Physical cells per logical weight (1 or 2).
+  [[nodiscard]] std::size_t legs() const { return enc_->legs(); }
 
   // ---- Physical-space views (used by the on-line detector) --------------
-  /// Conductance the store last targeted for the physical cell (r, c).
-  [[nodiscard]] double expected_g(std::size_t r, std::size_t c) const;
-  /// Ground-truth fault of the physical cell (for detector evaluation).
+  /// Conductance the store last targeted for the physical cell (r, c) on
+  /// `leg` (0 = the single/G_p plane, 1 = the G_n plane).
+  [[nodiscard]] double expected_g(std::size_t r, std::size_t c,
+                                  std::size_t leg = 0) const;
+  /// Ground-truth fault of the physical cell, merged across legs (for
+  /// detector evaluation): a hard fault on either leg wins over a soft
+  /// one, and the G_p leg breaks ties.
   [[nodiscard]] FaultKind true_fault(std::size_t r, std::size_t c) const;
   /// Assembled ground-truth fault matrix (physical space).
   [[nodiscard]] FaultMatrix true_fault_matrix() const;
-  /// Actual conductance of the physical cell.
-  [[nodiscard]] double actual_g(std::size_t r, std::size_t c) const;
+  /// Actual conductance of the physical cell on `leg`.
+  [[nodiscard]] double actual_g(std::size_t r, std::size_t c,
+                                std::size_t leg = 0) const;
 
   // ---- Permutations (re-mapping) ----------------------------------------
   /// Install logical→physical permutations; rewrites moved cells.
@@ -132,7 +157,15 @@ class CrossbarWeightStore final : public WeightStore {
   [[nodiscard]] std::size_t wearout_fault_count() const {
     return wearout_agg_;
   }
+  /// Currently active transient faults across all tile planes (subset of
+  /// fault_count(); O(#tiles), not cached — callers poll it rarely).
+  [[nodiscard]] std::size_t soft_fault_count() const;
+  /// Logical weight count.
   [[nodiscard]] std::size_t cell_count() const { return rows() * cols(); }
+  /// Physical device cells backing those weights (logical × legs()).
+  [[nodiscard]] std::size_t physical_cell_count() const {
+    return cell_count() * legs();
+  }
 
   /// Mark the cached effective weights stale and resync the aggregate
   /// counters (call after any direct tile manipulation, e.g. a detection
@@ -157,8 +190,19 @@ class CrossbarWeightStore final : public WeightStore {
   /// magnitude pruning naturally reuses SA0 cells as zeros.
   void sync_targets_where(const FaultMatrix& physical_faults);
 
-  /// Issue a raw ±one-level pulse to a physical cell (detection writes).
-  void pulse_physical(std::size_t r, std::size_t c, double delta_g);
+  /// Issue a raw ±one-level pulse to a physical cell on `leg` (detection
+  /// writes).
+  void pulse_physical(std::size_t r, std::size_t c, double delta_g,
+                      std::size_t leg = 0);
+
+  /// Advance device time by one tick: soft faults decay, conductances
+  /// drift, and new transient faults may strike (device/noise_model.hpp).
+  /// No-op unless cfg().noise.active(). Tile-parallel with per-tile RNG
+  /// streams salted by (tick, tile, leg) — deterministic at any thread
+  /// count. Marks the effective cache stale.
+  void tick_noise();
+  /// Device-time ticks issued so far (serialized with the store).
+  [[nodiscard]] std::uint64_t noise_ticks() const { return noise_ticks_; }
 
   /// Checkpointing: serialize the full store (off-chip targets, physical
   /// permutations, and every tile's device state).
@@ -194,12 +238,20 @@ class CrossbarWeightStore final : public WeightStore {
   void resync_counters();
 
   RcsConfig cfg_;
+  /// The configured encoding singleton (device/cell_encoding.hpp); set in
+  /// the ctor and in read_from(), never null afterwards.
+  const CellEncoding* enc_ = nullptr;
   Tensor target_;
   Tensor effective_;
   double weight_max_ = 1.0;
   TileGrid grid_;
   LogicalMapping map_;
   std::vector<std::unique_ptr<Crossbar>> tiles_;
+  /// G_n tile plane, same geometry as tiles_; empty when legs() == 1.
+  std::vector<std::unique_ptr<Crossbar>> tiles_n_;
+  /// Device-time noise state (tick_noise); serialized for bit-exact resume.
+  Rng noise_rng_{0};
+  std::uint64_t noise_ticks_ = 0;
   /// Per-tile staleness of effective_ (uint8_t, not vector<bool>: lanes
   /// clear flags for distinct tiles without sharing a word). any_dirty_
   /// short-circuits effective() on the hottest path.

@@ -28,6 +28,18 @@ std::size_t RcsSystem::cell_count() const {
   return n;
 }
 
+std::size_t RcsSystem::physical_cell_count() const {
+  std::size_t n = 0;
+  for (const auto* s : stores_) n += s->physical_cell_count();
+  return n;
+}
+
+std::size_t RcsSystem::soft_fault_count() const {
+  std::size_t n = 0;
+  for (const auto* s : stores_) n += s->soft_fault_count();
+  return n;
+}
+
 std::size_t RcsSystem::fault_count() const {
   std::size_t n = 0;
   for (const auto* s : stores_) n += s->fault_count();
@@ -41,7 +53,7 @@ std::size_t RcsSystem::wearout_fault_count() const {
 }
 
 double RcsSystem::fault_fraction() const {
-  const std::size_t cells = cell_count();
+  const std::size_t cells = physical_cell_count();
   if (cells == 0) return 0.0;
   return static_cast<double>(fault_count()) / static_cast<double>(cells);
 }

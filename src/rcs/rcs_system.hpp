@@ -41,9 +41,16 @@ class RcsSystem {
 
   // ---- Aggregate statistics ---------------------------------------------
   [[nodiscard]] std::uint64_t total_device_writes() const;
+  /// Logical weights across all stores.
   [[nodiscard]] std::size_t cell_count() const;
+  /// Physical device cells (logical × encoding legs).
+  [[nodiscard]] std::size_t physical_cell_count() const;
   [[nodiscard]] std::size_t fault_count() const;
   [[nodiscard]] std::size_t wearout_fault_count() const;
+  /// Currently active transient faults (subset of fault_count()).
+  [[nodiscard]] std::size_t soft_fault_count() const;
+  /// fault_count() over physical cells (identical to the logical ratio for
+  /// single-leg encodings).
   [[nodiscard]] double fault_fraction() const;
   /// Mean device writes per cell (the endurance pressure metric).
   [[nodiscard]] double mean_writes_per_cell() const;

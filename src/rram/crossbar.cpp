@@ -20,6 +20,8 @@ Crossbar::Crossbar(CrossbarConfig cfg, EnduranceModel endurance, Rng rng)
   faults_.assign(n, FaultKind::kNone);
   writes_.assign(n, 0);
   endurance_limit_.assign(n, 0);
+  soft_ttl_.assign(n, 0);
+  soft_restore_.assign(n, 0.0);
   if (endurance_.limited()) {
     for (auto& lim : endurance_limit_) {
       const double draw =
@@ -93,7 +95,14 @@ FaultKind Crossbar::fault(std::size_t r, std::size_t c) const {
 }
 
 void Crossbar::force_fault(std::size_t r, std::size_t c, FaultKind kind) {
+  REFIT_CHECK_MSG(!fault_is_soft(kind),
+                  "transient pins go through force_soft_fault");
   const std::size_t i = idx(r, c);
+  if (fault_is_soft(faults_[i])) {
+    // Hard fault (or explicit clear) supersedes a transient pin.
+    --soft_faults_;
+    soft_ttl_[i] = 0;
+  }
   if (faults_[i] == FaultKind::kNone && kind != FaultKind::kNone) {
     ++fault_count_;
   } else if (faults_[i] != FaultKind::kNone && kind == FaultKind::kNone) {
@@ -106,6 +115,59 @@ void Crossbar::force_fault(std::size_t r, std::size_t c, FaultKind kind) {
   } else if (kind == FaultKind::kStuckAt1) {
     g_[i] = 1.0;
   }
+}
+
+void Crossbar::force_soft_fault(std::size_t r, std::size_t c, FaultKind kind,
+                                std::uint32_t ttl) {
+  REFIT_CHECK_MSG(fault_is_soft(kind), "force_soft_fault needs a soft kind");
+  REFIT_CHECK(ttl >= 1);
+  const std::size_t i = idx(r, c);
+  if (faults_[i] != FaultKind::kNone) return;  // first fault wins
+  soft_restore_[i] = g_[i];
+  soft_ttl_[i] = ttl;
+  faults_[i] = kind;
+  g_[i] = kind == FaultKind::kSoftStuck0 ? 0.0 : 1.0;
+  ++fault_count_;
+  ++soft_faults_;
+}
+
+void Crossbar::decay_soft_faults() {
+  if (soft_faults_ == 0) return;
+  const std::size_t n = cfg_.rows * cfg_.cols;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!fault_is_soft(faults_[i])) continue;
+    if (soft_ttl_[i] <= 1) {
+      faults_[i] = FaultKind::kNone;
+      g_[i] = soft_restore_[i];
+      soft_ttl_[i] = 0;
+      --fault_count_;
+      --soft_faults_;
+    } else {
+      --soft_ttl_[i];
+    }
+  }
+}
+
+void Crossbar::drift_toward(double target, double rate) {
+  REFIT_CHECK(rate >= 0.0 && rate <= 1.0);
+  const std::size_t n = cfg_.rows * cfg_.cols;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (faults_[i] != FaultKind::kNone) continue;  // pinned cells stay pinned
+    g_[i] = std::clamp(g_[i] + rate * (target - g_[i]), 0.0, 1.0);
+  }
+}
+
+void Crossbar::strong_write(std::size_t r, std::size_t c, double target_g) {
+  const std::size_t i = idx(r, c);
+  if (fault_is_soft(faults_[i])) {
+    // The strong pulse re-forms the filament: the transient pin is gone
+    // and the cell is re-programmed below (no restore of the old value).
+    faults_[i] = FaultKind::kNone;
+    soft_ttl_[i] = 0;
+    --fault_count_;
+    --soft_faults_;
+  }
+  write(r, c, target_g);
 }
 
 double Crossbar::sum_conductance_rows(const std::vector<std::size_t>& row_set,
@@ -149,6 +211,9 @@ void Crossbar::save(std::ostream& os) const {
   ser::write_pod(os, suppressed_writes_);
   ser::write_pod<std::uint64_t>(os, fault_count_);
   ser::write_pod<std::uint64_t>(os, wearout_faults_);
+  ser::write_vec(os, soft_ttl_);
+  ser::write_vec(os, soft_restore_);
+  ser::write_pod<std::uint64_t>(os, soft_faults_);
 }
 
 Crossbar Crossbar::load(std::istream& is) {
@@ -172,6 +237,12 @@ Crossbar Crossbar::load(std::istream& is) {
   xb.fault_count_ =
       static_cast<std::size_t>(ser::read_pod<std::uint64_t>(is));
   xb.wearout_faults_ =
+      static_cast<std::size_t>(ser::read_pod<std::uint64_t>(is));
+  xb.soft_ttl_ = ser::read_vec<std::uint32_t>(is);
+  xb.soft_restore_ = ser::read_vec<double>(is);
+  REFIT_CHECK_MSG(xb.soft_ttl_.size() == n && xb.soft_restore_.size() == n,
+                  "corrupt crossbar checkpoint (soft-fault state)");
+  xb.soft_faults_ =
       static_cast<std::size_t>(ser::read_pod<std::uint64_t>(is));
   return xb;
 }

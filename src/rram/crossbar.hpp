@@ -22,8 +22,24 @@
 
 namespace refit {
 
-/// Hard-fault state of a cell.
-enum class FaultKind : std::uint8_t { kNone = 0, kStuckAt0 = 1, kStuckAt1 = 2 };
+/// Fault state of a cell. kStuckAt* are permanent (fabrication defects or
+/// endurance wear-out); kSoftStuck* are transient pins with a TTL — the
+/// cell reads stuck for a few device-time ticks and then recovers its
+/// pre-fault conductance (see device/noise_model.hpp).
+enum class FaultKind : std::uint8_t {
+  kNone = 0,
+  kStuckAt0 = 1,
+  kStuckAt1 = 2,
+  kSoftStuck0 = 3,
+  kSoftStuck1 = 4,
+};
+
+[[nodiscard]] constexpr bool fault_is_hard(FaultKind k) {
+  return k == FaultKind::kStuckAt0 || k == FaultKind::kStuckAt1;
+}
+[[nodiscard]] constexpr bool fault_is_soft(FaultKind k) {
+  return k == FaultKind::kSoftStuck0 || k == FaultKind::kSoftStuck1;
+}
 
 /// Geometry and write-physics knobs of a crossbar.
 struct CrossbarConfig {
@@ -96,7 +112,30 @@ class Crossbar {
   }
 
   /// Pin a cell to a hard fault (used by fabrication-fault injection).
+  /// Soft kinds are rejected — transient pins go through force_soft_fault
+  /// so the recovery state is tracked.
   void force_fault(std::size_t r, std::size_t c, FaultKind kind);
+
+  /// Pin a cell to a transient fault for `ttl` decay ticks (≥ 1). The
+  /// pre-fault conductance is remembered and restored on recovery. A cell
+  /// that is already faulty (hard or soft) keeps its existing fault.
+  void force_soft_fault(std::size_t r, std::size_t c, FaultKind kind,
+                        std::uint32_t ttl);
+
+  /// One device-time tick of soft-fault decay: every transient fault's TTL
+  /// drops by one; expired cells recover their pre-fault conductance.
+  void decay_soft_faults();
+
+  /// Conductance relaxation: every healthy cell moves toward `target` by
+  /// `rate` of the remaining gap (g += rate·(target − g)). Analog — no
+  /// level snap, no write cost, no RNG.
+  void drift_toward(double target, double rate);
+
+  /// A programming pulse strong enough to re-form a transiently pinned
+  /// cell: clears any soft fault, then behaves exactly like write().
+  /// Hard-stuck cells still suppress it. This is the detector's scrub
+  /// primitive for cells its re-test pass classifies as soft.
+  void strong_write(std::size_t r, std::size_t c, double target_g);
 
   /// Analog column read: sum of conductances of `row_set` cells in `col`
   /// (the quiescent-voltage test observable, row-direction test).
@@ -123,6 +162,8 @@ class Crossbar {
   [[nodiscard]] std::size_t wearout_fault_count() const {
     return wearout_faults_;
   }
+  /// Currently active transient faults (subset of fault_count()).
+  [[nodiscard]] std::size_t soft_fault_count() const { return soft_faults_; }
 
   /// Checkpointing: serialize the full device state (conductances, faults,
   /// per-cell wear, RNG) so a simulation can resume bit-exactly.
@@ -148,6 +189,11 @@ class Crossbar {
   std::uint64_t suppressed_writes_ = 0;
   std::size_t fault_count_ = 0;
   std::size_t wearout_faults_ = 0;
+  /// Transient-fault state: remaining decay ticks and the conductance to
+  /// restore on recovery (valid only while the cell is soft-stuck).
+  std::vector<std::uint32_t> soft_ttl_;
+  std::vector<double> soft_restore_;
+  std::size_t soft_faults_ = 0;
 };
 
 }  // namespace refit

@@ -114,4 +114,23 @@ void inject_fabrication_faults(Crossbar& xbar, const FaultInjectionConfig& cfg,
   }
 }
 
+void inject_soft_faults(Crossbar& xbar, double fraction, std::uint32_t ttl,
+                        double sa0_probability, Rng& rng) {
+  REFIT_CHECK(fraction >= 0.0 && fraction <= 1.0);
+  const std::size_t total = xbar.rows() * xbar.cols();
+  const auto count = static_cast<std::size_t>(
+      std::llround(fraction * static_cast<double>(total)));
+  FaultInjectionConfig uniform;
+  uniform.spatial = SpatialDistribution::kUniform;
+  const auto sites =
+      sample_fault_sites(xbar.rows(), xbar.cols(), count, uniform, rng);
+  for (const auto& [r, c] : sites) {
+    if (xbar.is_stuck(r, c)) continue;
+    const FaultKind kind = rng.bernoulli(sa0_probability)
+                               ? FaultKind::kSoftStuck0
+                               : FaultKind::kSoftStuck1;
+    xbar.force_soft_fault(r, c, kind, ttl);
+  }
+}
+
 }  // namespace refit

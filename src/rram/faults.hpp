@@ -45,4 +45,13 @@ std::vector<std::pair<std::size_t, std::size_t>> sample_fault_sites(
 void inject_fabrication_faults(Crossbar& xbar, const FaultInjectionConfig& cfg,
                                Rng& rng);
 
+/// Pin `fraction` of the crossbar's healthy cells to a transient
+/// (soft-stuck) fault that recovers after `ttl` decay ticks. Spatially
+/// uniform — soft errors are event-driven, not clustered like fabrication
+/// defects. `sa0_probability` splits the pins between kSoftStuck0 and
+/// kSoftStuck1. Used by seeded test scenarios; the on-line injection path
+/// is DeviceNoiseModel::tick_tile.
+void inject_soft_faults(Crossbar& xbar, double fraction, std::uint32_t ttl,
+                        double sa0_probability, Rng& rng);
+
 }  // namespace refit

@@ -68,10 +68,32 @@ RcsConfig faulty_rcs() {
   return cfg;
 }
 
+/// Same faulty chip, but weights on differential G_p/G_n pairs with the
+/// full device-noise model live (drift + transient soft faults), and the
+/// detector classifying hard vs soft; exercises DeviceTickPhase plus the
+/// noise-RNG/ticks serialization across checkpoint/resume.
+FtFlowConfig device_flow() {
+  FtFlowConfig cfg = ft_flow();
+  cfg.device_tick_period = 10;
+  cfg.detector.classify_soft = true;
+  return cfg;
+}
+
+RcsConfig device_rcs() {
+  RcsConfig cfg = faulty_rcs();
+  cfg.encoding = EncodingKind::kDifferentialPair;
+  cfg.noise.program_sigma = 0.01;
+  cfg.noise.drift_rate = 0.002;
+  cfg.noise.soft_fault_rate = 0.0005;
+  cfg.noise.soft_fault_ttl = 3;
+  return cfg;
+}
+
 struct Rig {
   RcsSystem sys;
   Network net;
-  Rig() : sys(faulty_rcs(), Rng(42)), net(build(sys)) {}
+  explicit Rig(const RcsConfig& chip = faulty_rcs())
+      : sys(chip, Rng(42)), net(build(sys)) {}
 
   static Network build(RcsSystem& sys) {
     Rng rng(2);
@@ -103,28 +125,38 @@ void expect_identical(const TrainingResult& a, const TrainingResult& b) {
     EXPECT_EQ(a.phases[i].recall, b.phases[i].recall);
     EXPECT_EQ(a.phases[i].remap_cost_before, b.phases[i].remap_cost_before);
     EXPECT_EQ(a.phases[i].remap_cost_after, b.phases[i].remap_cost_after);
+    EXPECT_EQ(a.phases[i].hard_precision, b.phases[i].hard_precision);
+    EXPECT_EQ(a.phases[i].hard_recall, b.phases[i].hard_recall);
+    EXPECT_EQ(a.phases[i].soft_precision, b.phases[i].soft_precision);
+    EXPECT_EQ(a.phases[i].soft_recall, b.phases[i].soft_recall);
+    EXPECT_EQ(a.phases[i].cells_retested, b.phases[i].cells_retested);
+    EXPECT_EQ(a.phases[i].soft_detected, b.phases[i].soft_detected);
   }
 }
 
-TrainingResult run_uninterrupted(const Dataset& data) {
-  Rig rig;
-  FtEngine engine(ft_flow());
+TrainingResult run_uninterrupted(const Dataset& data,
+                                 const FtFlowConfig& flow = ft_flow(),
+                                 const RcsConfig& chip = faulty_rcs()) {
+  Rig rig(chip);
+  FtEngine engine(flow);
   return engine.run(rig.net, &rig.sys, data, Rng(3));
 }
 
-TrainingResult run_resumed(const Dataset& data, std::size_t interrupt_at) {
+TrainingResult run_resumed(const Dataset& data, std::size_t interrupt_at,
+                           const FtFlowConfig& flow = ft_flow(),
+                           const RcsConfig& chip = faulty_rcs()) {
   std::stringstream checkpoint;
   {
-    Rig rig;
-    FtEngine engine(ft_flow());
+    Rig rig(chip);
+    FtEngine engine(flow);
     engine.begin(rig.net, &rig.sys, data, Rng(3));
     while (engine.context().iteration < interrupt_at) engine.step();
     EXPECT_TRUE(engine.save_checkpoint(checkpoint));
     // The first engine, its network, and its RcsSystem are destroyed here
     // — the resumed run must not depend on them.
   }
-  Rig rig;
-  FtEngine engine(ft_flow());
+  Rig rig(chip);
+  FtEngine engine(flow);
   EXPECT_TRUE(engine.load_checkpoint(rig.net, &rig.sys, data, checkpoint));
   EXPECT_EQ(engine.context().iteration, interrupt_at);
   while (!engine.done()) engine.step();
@@ -142,6 +174,24 @@ TEST(EngineCheckpoint, ResumeBetweenDetectionPhasesIsBitIdentical) {
     // first and second so detected-fault and prune state are live.
     ASSERT_EQ(full.phases.size(), 3u);
     const TrainingResult resumed = run_resumed(data, 100);
+    expect_identical(full, resumed);
+  }
+}
+
+TEST(EngineCheckpoint, DifferentialNoiseResumeIsBitIdentical) {
+  PoolGuard guard;
+  const Dataset data = small_mnist();
+  for (std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    ThreadPool::set_global_threads(threads);
+    const TrainingResult full =
+        run_uninterrupted(data, device_flow(), device_rcs());
+    ASSERT_EQ(full.phases.size(), 3u);
+    // Interrupt between two device ticks (ticks at 10, 20, ... 240) and
+    // after the first detection, so drift state, live soft-fault TTLs,
+    // and the noise RNG stream must all survive serialization.
+    const TrainingResult resumed =
+        run_resumed(data, 95, device_flow(), device_rcs());
     expect_identical(full, resumed);
   }
 }
@@ -222,11 +272,12 @@ TEST(EngineObserver, SeesEveryPhaseBoundaryInOrder) {
 TEST(FtEngine, StandardPhasesMatchTheMonolithicOrder) {
   const FtFlowConfig cfg = ft_flow();
   const auto phases = FtEngine::standard_phases(cfg);
-  ASSERT_EQ(phases.size(), 4u);
-  EXPECT_STREQ(phases[0]->name(), "detection");
-  EXPECT_STREQ(phases[1]->name(), "remap");
-  EXPECT_STREQ(phases[2]->name(), "train-step");
-  EXPECT_STREQ(phases[3]->name(), "eval");
+  ASSERT_EQ(phases.size(), 5u);
+  EXPECT_STREQ(phases[0]->name(), "device-tick");
+  EXPECT_STREQ(phases[1]->name(), "detection");
+  EXPECT_STREQ(phases[2]->name(), "remap");
+  EXPECT_STREQ(phases[3]->name(), "train-step");
+  EXPECT_STREQ(phases[4]->name(), "eval");
 }
 
 }  // namespace

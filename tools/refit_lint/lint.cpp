@@ -43,7 +43,18 @@ const std::set<std::string> kStdEngineNames = {
 const std::set<std::string> kCRandNames = {"rand", "srand", "drand48",
                                            "lrand48", "mrand48", "random"};
 
-const std::set<std::string> kTileMutators = {"write", "force_fault"};
+const std::set<std::string> kTileMutators = {"write", "force_fault",
+                                             "force_soft_fault",
+                                             "strong_write"};
+
+// Conductance-mutating Crossbar members: callable only from the modules
+// that own device physics (src/device, src/rram) and from the store that
+// mediates them (rcs/crossbar_store). Everything else must go through the
+// CellEncoding/DeviceNoiseModel seam so encodings stay swappable.
+const std::set<std::string> kConductanceMutators = {
+    "force_fault", "force_soft_fault", "strong_write",
+    "drift_toward", "decay_soft_faults",
+};
 
 const std::set<std::string> kAssignOps = {"=",  "+=", "-=",  "*=",  "/=",
                                           "%=", "&=", "|=",  "^=",  "<<=",
@@ -60,11 +71,14 @@ const std::map<std::string, std::set<std::string>>& layer_deps() {
       {"tensor", {"common", "obs"}},
       {"nn", {"common", "tensor", "obs"}},
       {"rram", {"common", "obs"}},
+      {"device", {"common", "rram", "obs"}},
       {"data", {"common", "tensor", "obs"}},
-      {"rcs", {"common", "tensor", "nn", "rram", "obs"}},
-      {"detect", {"common", "tensor", "nn", "rram", "rcs", "obs"}},
+      {"rcs", {"common", "tensor", "nn", "rram", "device", "obs"}},
+      {"detect",
+       {"common", "tensor", "nn", "rram", "device", "rcs", "obs"}},
       {"core",
-       {"common", "tensor", "nn", "rram", "rcs", "data", "detect", "obs"}},
+       {"common", "tensor", "nn", "rram", "device", "rcs", "data", "detect",
+        "obs"}},
   };
   return kDeps;
 }
@@ -112,6 +126,11 @@ const std::vector<RuleInfo>& rules() {
        "std::chrono::steady_clock / high_resolution_clock in src/ outside "
        "src/obs — take timestamps through refit::obs::now_ns() or "
        "obs::Stopwatch so the Clock seam stays the single time source"},
+      {"device-encoding",
+       "direct conductance-mutator call (force_fault / force_soft_fault / "
+       "strong_write / drift_toward / decay_soft_faults) outside src/device, "
+       "src/rram, and rcs/crossbar_store — go through the CellEncoding / "
+       "DeviceNoiseModel seam"},
       {"inference-effective",
        "store.effective() / store->effective() on an inference path "
        "(src/nn, src/core) outside nn/weight_store — call "
@@ -137,6 +156,11 @@ std::vector<Finding> lint_source(const std::string& path,
                             path_contains(path, "src/obs/");
   const bool owns_rng = path_contains(path, "common/rng");
   const bool owns_tiles = path_contains(path, "rcs/crossbar_store");
+  // src/device and src/rram own the conductance-mutation primitives; the
+  // crossbar store mediates them for everyone else. Files outside src/
+  // (tests, benches, tools) may drive them directly.
+  const bool owns_device =
+      mod.empty() || mod == "device" || mod == "rram" || owns_tiles;
   // nn/weight_store hosts the interface plus the portable forward_matmul
   // fallback, which is the one sanctioned effective()-materializing site on
   // the inference side.
@@ -293,6 +317,17 @@ std::vector<Finding> lint_source(const std::string& path,
                      "invalidate() afterwards to resync the cached "
                      "effective weights and O(1) counters");
       }
+    }
+
+    // Direct conductance mutation outside the device-physics owners.
+    if (!owns_device && kConductanceMutators.count(tok.text) && i > 0 &&
+        (t[i - 1].text == "." || t[i - 1].text == "->") && i + 1 < t.size() &&
+        t[i + 1].text == "(") {
+      report("device-encoding", tok.line,
+             tok.text +
+                 "() mutates raw conductance outside src/device — thread "
+                 "the change through CellEncoding / DeviceNoiseModel (or "
+                 "the store's pulse_physical) so encodings stay swappable");
     }
 
     // store.effective() / store->effective() on inference-side modules.

@@ -23,6 +23,11 @@
 //   layering             #include pointing against the module dependency
 //                        order (common → tensor → nn → rcs → detect →
 //                        core; e.g. src/detect must not include core/)
+//   device-encoding      direct Crossbar conductance-mutator calls
+//                        (force_fault / force_soft_fault / strong_write /
+//                        drift_toward / decay_soft_faults) outside the
+//                        device-physics owners (src/device, src/rram,
+//                        rcs/crossbar_store)
 //
 // Suppression: `// refit-lint: allow(rule[, rule…])` on the offending line
 // or the line directly above; `// refit-lint: allow-file(rule)` within the

@@ -2,6 +2,8 @@
 struct FakeTile {
   void write(int, int, double) {}
   void force_fault(int, int, int) {}
+  void force_soft_fault(int, int, int, int) {}
+  void strong_write(int, int, double) {}
   int rows() { return 4; }
 };
 
@@ -33,4 +35,12 @@ void unpaired_write(FakeStore& store) {
 
 void unpaired_force_fault(FakeStore* store) {
   store->tile(1, 1).force_fault(2, 2, 1);  // EXPECT-LINT: tile-invalidate
+}
+
+void unpaired_soft_fault(FakeStore& store) {
+  store.tile(0, 1).force_soft_fault(3, 3, 1, 2);  // EXPECT-LINT: tile-invalidate
+}
+
+void unpaired_strong_write(FakeStore& store) {
+  store.tile(1, 0).strong_write(0, 0, 0.5);  // EXPECT-LINT: tile-invalidate
 }

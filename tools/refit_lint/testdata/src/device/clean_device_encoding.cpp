@@ -1,0 +1,19 @@
+// Fixture: src/device owns the conductance-mutation primitives, so the
+// identical calls that bad_device_encoding.cpp flags are silent here.
+#include "rram/crossbar.hpp"
+
+struct FakeCrossbar {
+  void force_fault(int, int, int) {}
+  void force_soft_fault(int, int, int, int) {}
+  void strong_write(int, int, double) {}
+  void drift_toward(double, double) {}
+  void decay_soft_faults() {}
+};
+
+void device_layer_mutations(FakeCrossbar& xb) {
+  xb.force_fault(0, 0, 1);
+  xb.force_soft_fault(0, 0, 1, 2);
+  xb.strong_write(1, 1, 0.5);
+  xb.drift_toward(0.0, 0.01);
+  xb.decay_soft_faults();
+}
