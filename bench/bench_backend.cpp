@@ -513,6 +513,10 @@ int main(int argc, char** argv) {
   std::ofstream os(path);
   os << "{\n  \"bench\": \"backend\",\n";
   os << "  \"provenance\": {\n";
+  // refit-det deliberate (baselined): hardware_threads and scaling_valid
+  // are provenance — they describe the host the numbers were measured on
+  // and are excluded from the deterministic comparison surface (check.sh
+  // compares gemm_output_hash and result rows, never provenance).
   os << "    \"hardware_threads\": " << hw_threads << ",\n";
   os << "    \"cpu_model\": \"" << json_escape(cpu_model()) << "\",\n";
   os << "    \"compiler\": \"" << json_escape(__VERSION__) << "\",\n";

@@ -5,6 +5,10 @@
 #   lint        refit-lint static analysis over src/tests/bench/examples/tools
 #   audit       refit-audit cross-TU analysis diffed against its baseline
 #   flow        refit-flow CFG/dataflow analysis diffed against its baseline
+#   det         refit-det whole-program determinism analysis vs its baseline
+#   det-smoke   dynamic determinism check: the backend GEMM hash and the
+#               soft-fault result rows must be byte-identical at
+#               REFIT_THREADS=1 and REFIT_THREADS=4
 #   bench-smoke figure-reproduction benches end to end under REFIT_FAST=1
 #   obs-smoke   quickstart with --trace-out/--metrics-out; both outputs must
 #               be valid JSON with the expected top-level shape
@@ -70,6 +74,57 @@ if ./build/tools/refit_flow --baseline tools/refit_flow/baseline.txt; then
   flow_rc=0
 fi
 record flow $flow_rc
+
+banner "det: refit-det whole-program determinism analysis vs baseline"
+det_rc=1
+if [[ ! -x build/tools/refit_det ]]; then
+  cmake --build build -j --target refit_det || true
+fi
+if ./build/tools/refit_det --baseline tools/refit_det/baseline.txt; then
+  det_rc=0
+fi
+record det $det_rc
+
+banner "det-smoke: artifacts byte-identical at REFIT_THREADS=1 vs 4"
+# The dynamic half of the determinism contract refit-det checks statically:
+# the deterministic artifact fields (backend gemm_output_hash, device
+# result rows) must not change with the worker-thread count. Provenance
+# fields (hardware_threads, scaling_valid, timings) are excluded — those
+# describe the host and the run, not the computation.
+detsmoke_rc=0
+smoke_dir=$(mktemp -d)
+for t in 1 4; do
+  if ! REFIT_FAST=1 REFIT_THREADS=$t \
+       REFIT_BENCH_OUT="$smoke_dir/backend_$t.json" \
+       ./build/bench/bench_backend > /dev/null; then
+    echo "  bench_backend (REFIT_THREADS=$t) FAILED"
+    detsmoke_rc=1
+  fi
+  if ! REFIT_FAST=1 REFIT_THREADS=$t \
+       REFIT_BENCH_OUT="$smoke_dir/device_$t.json" \
+       ./build/bench/soft_faults > /dev/null 2>&1; then
+    echo "  soft_faults (REFIT_THREADS=$t) FAILED"
+    detsmoke_rc=1
+  fi
+done
+if [[ $detsmoke_rc -eq 0 ]]; then
+  python3 - "$smoke_dir" <<'EOF' || detsmoke_rc=1
+import json, sys
+d = sys.argv[1]
+b1 = json.load(open(d + "/backend_1.json"))
+b4 = json.load(open(d + "/backend_4.json"))
+assert b1["gemm_output_hash"] == b4["gemm_output_hash"], (
+    "gemm_output_hash differs across REFIT_THREADS: "
+    + b1["gemm_output_hash"] + " != " + b4["gemm_output_hash"])
+r1 = json.load(open(d + "/device_1.json"))["results"]
+r4 = json.load(open(d + "/device_4.json"))["results"]
+assert r1 == r4, "soft_faults result rows differ across REFIT_THREADS"
+print("  gemm_output_hash " + b1["gemm_output_hash"] + " and "
+      + str(len(r1)) + " device rows identical at REFIT_THREADS=1 and 4")
+EOF
+fi
+rm -rf "$smoke_dir"
+record det-smoke $detsmoke_rc
 
 banner "bench-smoke: figure benches under REFIT_FAST=1"
 bench_rc=0

@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Regenerates tools/refit_det/baseline.txt from the current tree.
+#
+# The baseline freezes deliberately-kept refit-det findings; anything the
+# analyzer reports that is not in the file fails CI (see docs/tooling.md
+# and docs/determinism.md). Output is deterministic — sorted unique
+# `<rule> <file> <detail>` keys with repo-relative paths — so reruns on an
+# unchanged tree are byte-identical.
+#
+# Hand-written `#` comments justifying each kept entry are NOT preserved by
+# regeneration: re-add them before committing. Policy: nondet-seed-provenance
+# findings are never baselined — a nondeterministically seeded RNG stream
+# breaks reproducibility for every artifact downstream of it; fix the code
+# (derive the stream from the funneled config seed with Rng::split), or, for
+# a provable false positive, suppress in place with
+# `// refit-det: allow(nondet-seed-provenance)`.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT=tools/refit_det/baseline.txt
+
+if [[ ! -f build/CMakeCache.txt ]]; then
+  cmake -B build -S .
+fi
+cmake --build build -j --target refit_det
+
+./build/tools/refit_det --write-baseline "$OUT"
+
+if grep -E '^nondet-seed-provenance ' "$OUT"; then
+  echo "error: the entries above must never be baselined — fix the seed" >&2
+  exit 1
+fi
+echo "wrote $OUT — re-add the justification comments before committing"

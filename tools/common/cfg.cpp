@@ -1,14 +1,14 @@
-// CFG construction for refit-flow (see cfg.hpp). Pass A walks the token
-// stream once to find every function body (named definitions and lambdas,
-// with their enclosing-call context); pass B parses each body into basic
+// Shared CFG construction (see cfg.hpp). Pass A walks the token stream
+// once to find every function body (named definitions and lambdas, with
+// their enclosing-call context); pass B parses each body into basic
 // blocks with a recursive-descent statement walker.
-#include "cfg.hpp"
+#include "common/cfg.hpp"
 
 #include <algorithm>
 #include <ostream>
 #include <set>
 
-namespace refit::flow {
+namespace refit::cfg {
 
 namespace {
 
@@ -668,4 +668,4 @@ void dump_cfg(std::ostream& os, const FileCfg& file) {
   }
 }
 
-}  // namespace refit::flow
+}  // namespace refit::cfg

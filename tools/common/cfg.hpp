@@ -1,5 +1,6 @@
-// refit-flow phase 1 — intraprocedural control-flow graphs over the shared
-// analyzer lexer (tools/common/lexer.hpp).
+// Shared intraprocedural control-flow graphs over the analyzer lexer
+// (tools/common/lexer.hpp), consumed by refit-flow's per-function dataflow
+// rules and refit-det's whole-program determinism taint analysis.
 //
 // build_file_cfg() lexes one translation unit, finds every function body
 // (free functions, member functions, TEST bodies — anything of the shape
@@ -20,10 +21,11 @@
 //     parallel_for_grained / TileGrid::for_each_tile records the callee in
 //     parallel_callee — the hook the static race rule keys on.
 //
-// Statements are token ranges into the file-wide token vector, so phase 2
-// (flow.hpp) can re-inspect any statement's tokens without re-lexing. The
-// graph is deliberately syntax-directed and unresolved (no symbol table):
-// good enough for the dataflow rules, cheap enough to run on every commit.
+// Statements are token ranges into the file-wide token vector, so analyses
+// (refit-flow's flow.hpp, refit-det's det.hpp) can re-inspect any
+// statement's tokens without re-lexing. The graph is deliberately
+// syntax-directed and unresolved (no symbol table): good enough for the
+// dataflow rules, cheap enough to run on every commit.
 #pragma once
 
 #include <cstddef>
@@ -33,7 +35,7 @@
 
 #include "common/lexer.hpp"
 
-namespace refit::flow {
+namespace refit::cfg {
 
 /// One statement: tokens [first, last) of FileCfg::tokens. `line` is the
 /// line of the first token (what findings anchor to).
@@ -96,4 +98,4 @@ void dump_cfg(std::ostream& os, const FileCfg& file);
 [[nodiscard]] bool in_nested_body(const FileCfg& file, int fn_index,
                                   std::size_t token_index);
 
-}  // namespace refit::flow
+}  // namespace refit::cfg

@@ -1,0 +1,270 @@
+// refit-det CLI: the whole-program determinism analysis stage (see
+// det.hpp for the rule catalogue). Scans the given roots, builds the
+// per-function CFGs for every translation unit, runs the interprocedural
+// taint analysis over the whole file set at once, and diffs the findings
+// against the checked-in baseline ratchet.
+//
+// Usage:
+//   refit_det [options] [<file-or-dir>...]
+//
+//   --list-rules              print the rule catalogue and exit
+//   --json                    machine output: {"findings": [...],
+//                             "stale_baseline": [...]} (human summary on
+//                             stderr); each finding carries a `baselined`
+//                             flag and its source→sink `chain`
+//   --baseline FILE           diff findings against FILE; frozen entries
+//                             do not fail the run, stale entries warn
+//   --write-baseline FILE     write the current findings as a sorted
+//                             baseline (with a header comment) and exit 0
+//   --explain                 print the full source→sink chain under each
+//                             fresh finding, one indented step per hop
+//
+// With no paths, the determinism-contract roots are scanned: src bench
+// examples (tests and tools construct nondeterminism on purpose).
+//
+// Exit status: 0 = clean (or frozen-only), 1 = fresh findings,
+// 2 = usage or I/O error.
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "det.hpp"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+bool analyzable_extension(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".cpp" || ext == ".hpp" || ext == ".h" || ext == ".cc" ||
+         ext == ".hh" || ext == ".cxx";
+}
+
+bool skip_dir(const fs::path& p) {
+  const std::string name = p.filename().string();
+  return name == "testdata" || name.rfind("build", 0) == 0 ||
+         name == ".git" || name == "third_party";
+}
+
+void collect(const fs::path& root, std::vector<fs::path>& out) {
+  if (fs::is_regular_file(root)) {
+    if (analyzable_extension(root)) out.push_back(root);
+    return;
+  }
+  for (auto it = fs::recursive_directory_iterator(root);
+       it != fs::recursive_directory_iterator(); ++it) {
+    if (it->is_directory() && skip_dir(it->path())) {
+      it.disable_recursion_pending();
+      continue;
+    }
+    if (it->is_regular_file() && analyzable_extension(it->path()))
+      out.push_back(it->path());
+  }
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// The roots scanned when the CLI is invoked bare (matches check.sh/CI).
+/// tests/ and tools/ are deliberately absent: tests construct
+/// nondeterminism on purpose, and the analyzers describe it in strings.
+const char* const kDefaultRoots[] = {"src", "bench", "examples"};
+
+int usage() {
+  std::cerr << "usage: refit_det [--list-rules] [--json] [--baseline FILE]\n"
+               "                 [--write-baseline FILE] [--explain]\n"
+               "                 [<file-or-dir>...]\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  bool json = false;
+  bool explain = false;
+  std::string baseline_path;
+  std::string write_baseline_path;
+  std::vector<std::string> roots;
+
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    auto value = [&](std::string& out) -> bool {
+      if (i + 1 >= args.size()) return false;
+      out = args[++i];
+      return true;
+    };
+    if (a == "--list-rules") {
+      for (const auto& r : refit::det::rules())
+        std::cout << r.name << "\n    " << r.description << "\n";
+      return 0;
+    } else if (a == "--json") {
+      json = true;
+    } else if (a == "--explain") {
+      explain = true;
+    } else if (a == "--baseline") {
+      if (!value(baseline_path)) return usage();
+    } else if (a == "--write-baseline") {
+      if (!value(write_baseline_path)) return usage();
+    } else if (!a.empty() && a[0] == '-') {
+      return usage();
+    } else {
+      roots.push_back(a);
+    }
+  }
+
+  if (roots.empty())
+    for (const char* r : kDefaultRoots)
+      if (fs::exists(r)) roots.emplace_back(r);
+  if (roots.empty()) {
+    std::cerr << "refit_det: no inputs (run from the repo root or pass "
+                 "paths)\n";
+    return 2;
+  }
+  std::vector<fs::path> files;
+  for (const std::string& a : roots) {
+    if (!fs::exists(a)) {
+      std::cerr << "refit_det: no such file or directory: " << a << "\n";
+      return 2;
+    }
+    collect(a, files);
+  }
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+
+  // The whole file set is analyzed at once: taint crosses translation
+  // units through the per-function summaries.
+  std::vector<refit::cfg::FileCfg> cfgs;
+  cfgs.reserve(files.size());
+  for (const fs::path& f : files) {
+    std::ifstream in(f, std::ios::binary);
+    if (!in) {
+      std::cerr << "refit_det: cannot read " << f << "\n";
+      return 2;
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    cfgs.push_back(refit::cfg::build_file_cfg(f.generic_string(), ss.str()));
+  }
+
+  refit::det::AnalyzeOptions opts;
+  std::vector<refit::det::Finding> findings =
+      refit::det::analyze_program(cfgs, opts);
+
+  if (!write_baseline_path.empty()) {
+    std::ofstream out(write_baseline_path, std::ios::binary);
+    if (!out) {
+      std::cerr << "refit_det: cannot write " << write_baseline_path << "\n";
+      return 2;
+    }
+    out << "# refit-det baseline — frozen, deliberately-kept findings.\n"
+           "# One `<rule> <file> <detail>` key per line; `#` comments and\n"
+           "# blank lines are ignored. Regenerate with "
+           "scripts/det_baseline.sh.\n"
+           "# nondet-seed-provenance entries are never accepted here.\n";
+    std::vector<std::string> keys;
+    keys.reserve(findings.size());
+    for (const auto& f : findings) keys.push_back(f.key());
+    std::sort(keys.begin(), keys.end());
+    keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+    for (const std::string& k : keys) out << k << "\n";
+    std::cerr << "refit_det: wrote " << keys.size() << " baseline entries "
+              << "to " << write_baseline_path << "\n";
+    return 0;
+  }
+
+  refit::det::Baseline baseline;
+  if (!baseline_path.empty()) {
+    std::ifstream in(baseline_path, std::ios::binary);
+    if (!in) {
+      std::cerr << "refit_det: cannot read baseline " << baseline_path
+                << "\n";
+      return 2;
+    }
+    baseline = refit::det::Baseline::parse(in);
+  }
+  const refit::det::RatchetResult rr =
+      refit::det::apply_baseline(findings, baseline);
+
+  std::ostream& human = json ? std::cerr : std::cout;
+  if (json) {
+    std::cout << "{\n  \"findings\": [";
+    bool first = true;
+    auto emit = [&](const refit::det::Finding& f, bool frozen) {
+      std::cout << (first ? "\n" : ",\n") << "    {\"file\": \""
+                << json_escape(f.file) << "\", \"line\": " << f.line
+                << ", \"rule\": \"" << json_escape(f.rule)
+                << "\", \"message\": \"" << json_escape(f.message)
+                << "\", \"detail\": \"" << json_escape(f.detail)
+                << "\", \"baselined\": " << (frozen ? "true" : "false")
+                << ", \"chain\": [";
+      for (std::size_t i = 0; i < f.chain.size(); ++i)
+        std::cout << (i ? ", " : "") << "\"" << json_escape(f.chain[i])
+                  << "\"";
+      std::cout << "]}";
+      first = false;
+    };
+    for (const auto& f : rr.fresh) emit(f, false);
+    for (const auto& f : rr.frozen) emit(f, true);
+    std::cout << (first ? "],\n" : "\n  ],\n") << "  \"stale_baseline\": [";
+    for (std::size_t i = 0; i < rr.stale.size(); ++i)
+      std::cout << (i ? ", " : "") << "\"" << json_escape(rr.stale[i]) << "\"";
+    std::cout << "]\n}\n";
+  } else {
+    for (const auto& f : rr.fresh) {
+      std::cout << f.file << ":" << f.line << ": [" << f.rule << "] "
+                << f.message << "\n";
+      if (explain)
+        for (std::size_t i = 0; i < f.chain.size(); ++i)
+          std::cout << "    #" << i + 1 << " " << f.chain[i] << "\n";
+    }
+  }
+
+  for (const std::string& k : rr.stale)
+    human << "refit_det: warning: stale baseline entry (regenerate with "
+             "scripts/det_baseline.sh): "
+          << k << "\n";
+
+  if (rr.fresh.empty()) {
+    human << "refit-det: " << files.size() << " files clean";
+    if (!rr.frozen.empty())
+      human << " (" << rr.frozen.size() << " baselined finding(s) frozen)";
+    human << "\n";
+    return 0;
+  }
+  std::map<std::string, std::size_t> per_rule;
+  for (const auto& f : rr.fresh) ++per_rule[f.rule];
+  human << "refit-det: " << rr.fresh.size() << " fresh finding(s) in "
+        << files.size() << " files:";
+  for (const auto& [rule, count] : per_rule)
+    human << " " << rule << "=" << count;
+  human << "\n(suppress a deliberate use with `// refit-det: "
+           "allow(<rule>)` on or above the line, or freeze it in "
+           "tools/refit_det/baseline.txt with a comment — "
+           "nondet-seed-provenance is never baselined)\n";
+  return 1;
+}

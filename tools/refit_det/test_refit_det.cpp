@@ -1,0 +1,269 @@
+// Expected-findings self-test for refit-det, mirroring refit-flow's
+// harness: every fixture under testdata/rules/ is analyzed and the
+// produced (line, rule) pairs must match the fixture's annotations
+// exactly —
+//
+//   // EXPECT-DET: <rule>        finding on this line
+//   // EXPECT-DET@<N>: <rule>    finding reported at line N
+//
+// A fixture with no annotations asserts the analyzer is silent on it, so
+// clean fixtures guard against false positives as much as the bad ones
+// guard against false negatives.
+//
+// On top of the fixture harness, the interprocedural machinery is probed
+// directly: call-graph construction, summary propagation across two call
+// hops, termination on recursion, and the --explain source→sink chain.
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <regex>
+#include <set>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "det.hpp"
+#include "gtest/gtest.h"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+using LineRule = std::pair<int, std::string>;
+
+std::string read_file(const fs::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  EXPECT_TRUE(in) << "cannot open fixture " << p;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+std::multiset<LineRule> parse_expectations(const std::string& content) {
+  std::multiset<LineRule> want;
+  const std::regex at_line(R"(EXPECT-DET@(\d+):\s*([a-z0-9-]+))");
+  const std::regex same_line(R"(EXPECT-DET:\s*([a-z0-9-]+))");
+  std::istringstream ss(content);
+  std::string line;
+  int lineno = 0;
+  while (std::getline(ss, line)) {
+    ++lineno;
+    std::smatch m;
+    if (std::regex_search(line, m, at_line))
+      want.emplace(std::stoi(m[1]), m[2]);
+    else if (std::regex_search(line, m, same_line))
+      want.emplace(lineno, m[1]);
+  }
+  return want;
+}
+
+std::vector<fs::path> fixtures(const std::string& subdir,
+                               const std::string& ext) {
+  std::vector<fs::path> out;
+  const fs::path dir = fs::path(REFIT_DET_TESTDATA_DIR) / subdir;
+  for (const auto& e : fs::directory_iterator(dir))
+    if (e.is_regular_file() && e.path().extension() == ext)
+      out.push_back(e.path());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<refit::det::Finding> analyze(const std::string& path,
+                                         const std::string& content) {
+  std::vector<refit::cfg::FileCfg> files;
+  files.push_back(refit::cfg::build_file_cfg(path, content));
+  return refit::det::analyze_program(files, refit::det::AnalyzeOptions{});
+}
+
+}  // namespace
+
+TEST(RefitDet, TestdataDirHasFixtures) {
+  EXPECT_GE(fixtures("rules", ".cpp").size(), 10u)
+      << "testdata/rules/ should hold a bad and a clean fixture per rule";
+}
+
+TEST(RefitDet, FixturesProduceExactlyTheAnnotatedFindings) {
+  for (const fs::path& p : fixtures("rules", ".cpp")) {
+    SCOPED_TRACE(p.filename().string());
+    const std::string content = read_file(p);
+    const std::multiset<LineRule> want = parse_expectations(content);
+
+    std::multiset<LineRule> got;
+    for (const auto& f : analyze(p.generic_string(), content))
+      got.emplace(f.line, f.rule);
+
+    for (const auto& [line, rule] : want)
+      EXPECT_TRUE(got.count({line, rule}))
+          << "expected finding [" << rule << "] at line " << line
+          << " was not produced";
+    for (const auto& [line, rule] : got)
+      EXPECT_TRUE(want.count({line, rule}))
+          << "unexpected finding [" << rule << "] at line " << line;
+  }
+}
+
+TEST(RefitDet, EveryRuleIsCoveredByAFixture) {
+  std::set<std::string> exercised;
+  for (const fs::path& p : fixtures("rules", ".cpp"))
+    for (const auto& [line, rule] : parse_expectations(read_file(p)))
+      exercised.insert(rule);
+  for (const auto& r : refit::det::rules())
+    EXPECT_TRUE(exercised.count(r.name))
+        << "rule '" << r.name << "' has no expected-findings fixture";
+}
+
+TEST(RefitDet, CallGraphConstruction) {
+  const std::string src =
+      "// impl\n"
+      "int c() { return 3; }\n"
+      "int b() { return c() + c(); }\n"
+      "int a() { return b(); }\n"
+      "int d() { return qsort(nullptr, 0, 0, nullptr); }\n";
+  std::vector<refit::cfg::FileCfg> files;
+  files.push_back(refit::cfg::build_file_cfg("src/x.cpp", src));
+  const refit::det::CallGraph cg = refit::det::build_call_graph(files);
+  ASSERT_TRUE(cg.callees.count("a"));
+  EXPECT_EQ(cg.callees.at("a"), (std::set<std::string>{"b"}));
+  EXPECT_EQ(cg.callees.at("b"), (std::set<std::string>{"c"}));
+  EXPECT_TRUE(cg.callees.at("c").empty());
+  // Externals (qsort) are not edges: only functions defined in the set.
+  EXPECT_TRUE(cg.callees.at("d").empty());
+}
+
+TEST(RefitDet, SummaryPropagationTwoHops) {
+  const std::string src =
+      "// impl\n"
+      "unsigned leaf() {\n"
+      "  std::random_device rd;\n"
+      "  return rd();\n"
+      "}\n"
+      "unsigned mid() { return leaf(); }\n"
+      "unsigned relay(unsigned x, unsigned y) { return y; }\n";
+  std::vector<refit::cfg::FileCfg> files;
+  files.push_back(refit::cfg::build_file_cfg("src/x.cpp", src));
+  const auto sums =
+      refit::det::compute_summaries(files, refit::det::AnalyzeOptions{});
+  ASSERT_TRUE(sums.count("leaf"));
+  EXPECT_TRUE(sums.at("leaf").ret_taint & refit::det::kNondetSeed)
+      << "the entropy source must taint leaf's return value";
+  ASSERT_TRUE(sums.count("mid"));
+  EXPECT_TRUE(sums.at("mid").ret_taint & refit::det::kNondetSeed)
+      << "leaf's return taint must propagate through mid's summary";
+  ASSERT_TRUE(sums.count("relay"));
+  EXPECT_EQ(sums.at("relay").param_to_ret, 2u)
+      << "only parameter 1 flows to relay's return";
+  EXPECT_EQ(sums.at("relay").ret_taint, 0u);
+}
+
+TEST(RefitDet, RecursionTerminates) {
+  const std::string src =
+      "// impl\n"
+      "unsigned spin(unsigned x) {\n"
+      "  if (x == 0) {\n"
+      "    std::random_device rd;\n"
+      "    return rd();\n"
+      "  }\n"
+      "  return spin(x - 1);\n"
+      "}\n"
+      "void use(std::ostream& os) { os << spin(3); }\n";
+  const auto findings = analyze("src/x.cpp", src);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "nondet-seed-provenance");
+  EXPECT_EQ(findings[0].line, 9);
+}
+
+TEST(RefitDet, ExplainChainCoversSourceToSink) {
+  const fs::path p =
+      fs::path(REFIT_DET_TESTDATA_DIR) / "rules" / "nondet_seed_bad.cpp";
+  const auto findings = analyze(p.generic_string(), read_file(p));
+  ASSERT_EQ(findings.size(), 1u);
+  const refit::det::Finding& f = findings[0];
+  EXPECT_EQ(f.rule, "nondet-seed-provenance");
+  ASSERT_GE(f.chain.size(), 4u) << "source, two call hops, and the sink";
+  EXPECT_NE(f.chain.front().find("source:"), std::string::npos);
+  const auto mentions = [&](const std::string& needle) {
+    for (const auto& step : f.chain)
+      if (step.find(needle) != std::string::npos) return true;
+    return false;
+  };
+  EXPECT_TRUE(mentions("device_entropy")) << "the returning callee hop";
+  EXPECT_TRUE(mentions("mix_bits")) << "the pass-through hop";
+  EXPECT_NE(f.chain.back().find("seeds RNG stream"), std::string::npos);
+}
+
+TEST(RefitDet, SuppressionCoversOwnAndNextLineOnly) {
+  const std::string src =
+      "// header\n"
+      "void f(std::ostream& os) {\n"
+      "  unsigned a = std::thread::hardware_concurrency();\n"
+      "  unsigned b = std::thread::hardware_concurrency();\n"
+      "  // refit-det: allow(threadcount-value-dependence)\n"
+      "  os << a;\n"
+      "  os << b;\n"
+      "}\n";
+  const auto findings = analyze("src/x.cpp", src);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].line, 7);
+  EXPECT_EQ(findings[0].rule, "threadcount-value-dependence");
+}
+
+TEST(RefitDet, PathExemptionsApply) {
+  // The clock seam owns the wall-clock read by design; anywhere else the
+  // same code is a finding.
+  const std::string src =
+      "// impl\n"
+      "void tick(std::ostream& os) {\n"
+      "  auto t = std::chrono::steady_clock::now();\n"
+      "  os << t.time_since_epoch().count();\n"
+      "}\n";
+  EXPECT_TRUE(analyze("src/obs/clock.cpp", src).empty());
+  EXPECT_FALSE(analyze("src/obs/timer.cpp", src).empty());
+}
+
+TEST(RefitDet, FindingKeyIsLineIndependent) {
+  const std::string src =
+      "// impl\n"
+      "void f(std::ostream& os) {\n"
+      "  os << std::thread::hardware_concurrency();\n"
+      "}\n";
+  const auto a = analyze("src/x.cpp", src);
+  const auto b = analyze("src/x.cpp", "// pad\n" + src);
+  ASSERT_EQ(a.size(), 1u);
+  ASSERT_EQ(b.size(), 1u);
+  EXPECT_NE(a[0].line, b[0].line);
+  EXPECT_EQ(a[0].key(), b[0].key());  // the ratchet never keys on lines
+}
+
+TEST(RefitDet, BaselineRatchet) {
+  std::istringstream base(
+      "# comment\n"
+      "\n"
+      "threadcount-value-dependence bench/x.cpp write_header:p\n"
+      "wallclock-to-output src/gone.cpp f:v\n");
+  const refit::det::Baseline bl = refit::det::Baseline::parse(base);
+  refit::det::Finding frozen;
+  frozen.file = "bench/x.cpp";
+  frozen.rule = "threadcount-value-dependence";
+  frozen.detail = "write_header:p";
+  refit::det::Finding fresh = frozen;
+  fresh.detail = "write_header:other";
+  const refit::det::RatchetResult rr =
+      refit::det::apply_baseline({frozen, fresh}, bl);
+  ASSERT_EQ(rr.frozen.size(), 1u);
+  ASSERT_EQ(rr.fresh.size(), 1u);
+  EXPECT_EQ(rr.fresh[0].detail, "write_header:other");
+  ASSERT_EQ(rr.stale.size(), 1u);
+  EXPECT_EQ(rr.stale[0], "wallclock-to-output src/gone.cpp f:v");
+}
+
+TEST(RefitDet, CheckedInBaselineHasNoSeedProvenanceEntries) {
+  // scripts/det_baseline.sh enforces this at regeneration time; this test
+  // enforces it against hand edits.
+  std::ifstream in(REFIT_DET_BASELINE);
+  ASSERT_TRUE(in) << "missing " << REFIT_DET_BASELINE;
+  const refit::det::Baseline bl = refit::det::Baseline::parse(in);
+  for (const std::string& key : bl.keys)
+    EXPECT_NE(key.rfind("nondet-seed-provenance ", 0), 0u)
+        << "nondet-seed-provenance must be fixed, never baselined: " << key;
+}

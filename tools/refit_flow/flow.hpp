@@ -40,9 +40,19 @@
 #include <string>
 #include <vector>
 
-#include "cfg.hpp"
+#include "common/cfg.hpp"
 
 namespace refit::flow {
+
+// The CFG layer lives in tools/common (shared with refit-det); the flow
+// rules and their tests keep addressing it as refit::flow.
+using cfg::BasicBlock;
+using cfg::build_file_cfg;
+using cfg::dump_cfg;
+using cfg::FileCfg;
+using cfg::FunctionCfg;
+using cfg::in_nested_body;
+using cfg::Stmt;
 
 /// One dataflow violation. `detail` is the stable identity — typically
 /// "<function>:<variable-or-callee>" — the baseline keys on.
