@@ -529,7 +529,6 @@ int main(int argc, char** argv) {
      << "\",\n";
 #endif
   os << "    \"measured_peak_gflops\": " << peak_gflops << "\n  },\n";
-  os << "  \"hardware_threads\": " << hw_threads << ",\n";
   os << "  \"scaling_valid\": " << (scaling_valid ? "true" : "false")
      << ",\n";
   os << "  \"gemm_output_hash\": \"" << std::hex << gemm_hash << std::dec

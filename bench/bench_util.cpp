@@ -6,7 +6,10 @@
 #include <fstream>
 #include <thread>
 
+#include "obs/clock.hpp"
+#include "obs/events.hpp"
 #include "obs/metrics.hpp"
+#include "obs/timeseries.hpp"
 #include "obs/trace.hpp"
 
 namespace refit::bench {
@@ -110,6 +113,12 @@ ObsOptions init_obs(int argc, char** argv) {
       opts.trace_out = arg.substr(12);
     } else if (arg.rfind("--metrics-out=", 0) == 0) {
       opts.metrics_out = arg.substr(14);
+    } else if (arg.rfind("--timeseries-out=", 0) == 0) {
+      opts.timeseries_out = arg.substr(17);
+    } else if (arg.rfind("--events-out=", 0) == 0) {
+      opts.events_out = arg.substr(13);
+    } else if (arg == "--manual-clock") {
+      opts.manual_clock = true;
     }
   }
   if (opts.trace_out.empty()) {
@@ -119,8 +128,30 @@ ObsOptions init_obs(int argc, char** argv) {
     if (const char* env = std::getenv("REFIT_METRICS_OUT"))
       opts.metrics_out = env;
   }
+  if (opts.timeseries_out.empty()) {
+    if (const char* env = std::getenv("REFIT_TIMESERIES_OUT"))
+      opts.timeseries_out = env;
+  }
+  if (opts.events_out.empty()) {
+    if (const char* env = std::getenv("REFIT_EVENTS_OUT"))
+      opts.events_out = env;
+  }
+  if (!opts.manual_clock) {
+    const char* env = std::getenv("REFIT_MANUAL_CLOCK");
+    opts.manual_clock = env != nullptr && env[0] == '1';
+  }
+  if (opts.manual_clock) {
+    // Leaked like the rest of the obs state: instrumented threads may
+    // still read the clock during process teardown.
+    static obs::ManualClock* manual = new obs::ManualClock();
+    obs::set_clock(manual);
+  }
   if (opts.enabled()) obs::MetricsRegistry::instance().set_enabled(true);
   if (!opts.trace_out.empty()) obs::Tracer::global().set_enabled(true);
+  if (!opts.timeseries_out.empty()) {
+    obs::TimeseriesRecorder::global().set_enabled(true);
+  }
+  if (!opts.events_out.empty()) obs::EventLog::global().set_enabled(true);
   return opts;
 }
 
@@ -173,7 +204,6 @@ void write_provenance_header(std::ostream& os, const std::string& bench_name,
     os << ",\n    \"build_type\": \"" << json_escape(p.build_type) << "\"";
   }
   os << "\n  },\n";
-  os << "  \"hardware_threads\": " << p.hardware_threads << ",\n";
 }
 
 std::string bench_out_path(const std::string& default_path) {
@@ -195,6 +225,14 @@ void write_obs(const ObsOptions& opts) {
   if (!opts.trace_out.empty()) {
     std::ofstream os(opts.trace_out);
     obs::Tracer::global().write_chrome_json(os);
+  }
+  if (!opts.timeseries_out.empty()) {
+    std::ofstream os(opts.timeseries_out);
+    obs::TimeseriesRecorder::global().write_jsonl(os);
+  }
+  if (!opts.events_out.empty()) {
+    std::ofstream os(opts.events_out);
+    obs::EventLog::global().write_jsonl(os);
   }
 }
 

@@ -94,20 +94,27 @@ double accuracy_at(const TrainingResult& r, std::size_t iteration);
 struct ObsOptions {
   std::string trace_out;
   std::string metrics_out;
+  std::string timeseries_out;
+  std::string events_out;
+  /// Install a deterministic obs::ManualClock (golden/CI runs).
+  bool manual_clock = false;
   [[nodiscard]] bool enabled() const {
-    return !trace_out.empty() || !metrics_out.empty();
+    return !trace_out.empty() || !metrics_out.empty() ||
+           !timeseries_out.empty() || !events_out.empty();
   }
 };
 
-/// Parse --trace-out=FILE / --metrics-out=FILE from argv, falling back to
-/// the REFIT_TRACE_OUT / REFIT_METRICS_OUT environment variables (so
+/// Parse --trace-out=FILE / --metrics-out=FILE / --timeseries-out=FILE /
+/// --events-out=FILE / --manual-clock from argv, falling back to the
+/// REFIT_TRACE_OUT / REFIT_METRICS_OUT / REFIT_TIMESERIES_OUT /
+/// REFIT_EVENTS_OUT / REFIT_MANUAL_CLOCK environment variables (so
 /// benches whose main() takes no arguments can still be traced), and
 /// runtime-enable the obs layer accordingly. Unrecognized arguments are
 /// left alone.
 ObsOptions init_obs(int argc, char** argv);
 
-/// Write the trace / metrics snapshot files at bench end. No-op for
-/// options that were not requested.
+/// Write the trace / metrics / timeseries / events files at bench end.
+/// No-op for options that were not requested.
 void write_obs(const ObsOptions& opts);
 
 /// Hardware/compiler provenance for BENCH_*.json artifacts — the same
@@ -127,9 +134,9 @@ struct BenchProvenance {
 /// Escape `"` and `\` for embedding in a JSON string literal.
 [[nodiscard]] std::string json_escape(const std::string& s);
 
-/// Emit the shared artifact preamble: the opening brace, "bench" name, the
-/// provenance object, and top-level hardware_threads (trailing comma
-/// included — the caller continues with its own fields).
+/// Emit the shared artifact preamble: the opening brace, "bench" name, and
+/// the provenance object (trailing comma included — the caller continues
+/// with its own fields). hardware_threads lives only inside provenance.
 void write_provenance_header(std::ostream& os, const std::string& bench_name,
                              const BenchProvenance& p);
 

@@ -21,6 +21,9 @@
 // obs layer and the end-of-run per-phase timing table):
 //   --trace-out=FILE       Chrome trace-event JSON (Perfetto-loadable)
 //   --metrics-out=FILE     metrics snapshot; .csv extension → CSV, else JSON
+//   --timeseries-out=FILE  per-iteration metric samples, JSONL
+//   --events-out=FILE      structured event log, JSONL
+//   --manual-clock=1       deterministic injected clock (golden runs)
 //
 // Example: reproduce the Fig. 7(b) setting in one line:
 //   build/examples/experiment_cli model=cnn map=fc_only faults=0.5
@@ -36,7 +39,10 @@
 #include "core/obs_observer.hpp"
 #include "data/synthetic.hpp"
 #include "nn/models.hpp"
+#include "obs/clock.hpp"
+#include "obs/events.hpp"
 #include "obs/metrics.hpp"
+#include "obs/timeseries.hpp"
 #include "obs/trace.hpp"
 
 using namespace refit;
@@ -90,9 +96,20 @@ int main(int argc, char** argv) {
       static_cast<std::uint64_t>(std::stoll(get(kv, "seed", "1")));
   const std::string trace_out = get(kv, "trace_out", "");
   const std::string metrics_out = get(kv, "metrics_out", "");
-  const bool obs_on = !trace_out.empty() || !metrics_out.empty();
+  const std::string timeseries_out = get(kv, "timeseries_out", "");
+  const std::string events_out = get(kv, "events_out", "");
+  if (get(kv, "manual_clock", "") == "1") {
+    // Leaked so instrumented threads may still read it during teardown.
+    obs::set_clock(new obs::ManualClock());
+  }
+  const bool obs_on = !trace_out.empty() || !metrics_out.empty() ||
+                      !timeseries_out.empty() || !events_out.empty();
   if (obs_on) obs::MetricsRegistry::instance().set_enabled(true);
   if (!trace_out.empty()) obs::Tracer::global().set_enabled(true);
+  if (!timeseries_out.empty()) {
+    obs::TimeseriesRecorder::global().set_enabled(true);
+  }
+  if (!events_out.empty()) obs::EventLog::global().set_enabled(true);
 
   // Dataset.
   SyntheticConfig dc;
@@ -186,6 +203,16 @@ int main(int argc, char** argv) {
     obs::Tracer::global().write_chrome_json(os);
     std::printf("trace written to %s (load in ui.perfetto.dev)\n",
                 trace_out.c_str());
+  }
+  if (!timeseries_out.empty()) {
+    std::ofstream os(timeseries_out);
+    obs::TimeseriesRecorder::global().write_jsonl(os);
+    std::printf("timeseries written to %s\n", timeseries_out.c_str());
+  }
+  if (!events_out.empty()) {
+    std::ofstream os(events_out);
+    obs::EventLog::global().write_jsonl(os);
+    std::printf("event log written to %s\n", events_out.c_str());
   }
   return 0;
 }

@@ -2,6 +2,7 @@
 // with the complete fault-tolerant flow, in ~40 lines of user code.
 //
 //   build/examples/quickstart [--trace-out=FILE] [--metrics-out=FILE]
+//       [--timeseries-out=FILE] [--events-out=FILE] [--manual-clock]
 //
 // What it shows:
 //   1. building a dataset and a network whose weight matrices live on
@@ -9,9 +10,11 @@
 //   2. configuring the fault-tolerant trainer (threshold training +
 //      periodic on-line detection + re-mapping),
 //   3. reading back the accuracy trace and endurance statistics,
-//   4. optionally capturing a Perfetto trace + metrics snapshot
-//      (docs/observability.md). REFIT_FAST=1 shortens the run for smoke
-//      tests.
+//   4. optionally capturing a Perfetto trace, metrics snapshot,
+//      per-iteration timeseries JSONL, and structured event JSONL
+//      (docs/observability.md). --manual-clock injects a deterministic
+//      clock so the timeseries/events output is byte-identical at any
+//      REFIT_THREADS. REFIT_FAST=1 shortens the run for smoke tests.
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -21,26 +24,45 @@
 #include "core/obs_observer.hpp"
 #include "data/synthetic.hpp"
 #include "nn/models.hpp"
+#include "obs/clock.hpp"
+#include "obs/events.hpp"
 #include "obs/metrics.hpp"
+#include "obs/timeseries.hpp"
 #include "obs/trace.hpp"
 
 using namespace refit;
 
 int main(int argc, char** argv) {
-  std::string trace_out, metrics_out;
+  std::string trace_out, metrics_out, timeseries_out, events_out;
+  bool manual_clock = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--trace-out=", 0) == 0) {
       trace_out = arg.substr(12);
     } else if (arg.rfind("--metrics-out=", 0) == 0) {
       metrics_out = arg.substr(14);
+    } else if (arg.rfind("--timeseries-out=", 0) == 0) {
+      timeseries_out = arg.substr(17);
+    } else if (arg.rfind("--events-out=", 0) == 0) {
+      events_out = arg.substr(13);
+    } else if (arg == "--manual-clock") {
+      manual_clock = true;
     } else {
       std::fprintf(stderr, "ignoring unknown argument '%s'\n", arg.c_str());
     }
   }
-  const bool obs_on = !trace_out.empty() || !metrics_out.empty();
+  if (manual_clock) {
+    // Leaked so instrumented threads may still read it during teardown.
+    obs::set_clock(new obs::ManualClock());
+  }
+  const bool obs_on = !trace_out.empty() || !metrics_out.empty() ||
+                      !timeseries_out.empty() || !events_out.empty();
   if (obs_on) obs::MetricsRegistry::instance().set_enabled(true);
   if (!trace_out.empty()) obs::Tracer::global().set_enabled(true);
+  if (!timeseries_out.empty()) {
+    obs::TimeseriesRecorder::global().set_enabled(true);
+  }
+  if (!events_out.empty()) obs::EventLog::global().set_enabled(true);
   const bool fast = std::getenv("REFIT_FAST") != nullptr;
 
   // A 10-class MNIST-like task, synthesized deterministically.
@@ -106,6 +128,14 @@ int main(int argc, char** argv) {
   if (!trace_out.empty()) {
     std::ofstream os(trace_out);
     obs::Tracer::global().write_chrome_json(os);
+  }
+  if (!timeseries_out.empty()) {
+    std::ofstream os(timeseries_out);
+    obs::TimeseriesRecorder::global().write_jsonl(os);
+  }
+  if (!events_out.empty()) {
+    std::ofstream os(events_out);
+    obs::EventLog::global().write_jsonl(os);
   }
   return 0;
 }

@@ -12,6 +12,9 @@
 #   bench-smoke figure-reproduction benches end to end under REFIT_FAST=1
 #   obs-smoke   quickstart with --trace-out/--metrics-out; both outputs must
 #               be valid JSON with the expected top-level shape
+#   obs-report  timeseries/event JSONL byte-identical at REFIT_THREADS=1 vs 4
+#               under --manual-clock; refit-report renders the HTML dashboard;
+#               refit-bench-diff gates fresh REFIT_FAST runs vs BENCH_*.json
 #   asan-ubsan  full suite under AddressSanitizer + UBSan
 #   tsan        parallel-backend tests under ThreadSanitizer (REFIT_THREADS=4)
 #
@@ -201,6 +204,94 @@ then
 fi
 rm -rf "$obs_dir"
 record obs-smoke $obs_rc
+
+banner "obs-report: timeseries/event determinism, HTML report, bench gate"
+# Three checks (docs/observability.md, docs/tooling.md):
+#   1. Under --manual-clock the quickstart timeseries + event JSONL are
+#      byte-identical at REFIT_THREADS=1 and 4 — the dynamic half of the
+#      golden tests in tests/test_timeseries.cpp / test_events.cpp.
+#   2. refit-report renders one self-contained HTML page from the captures
+#      with all four payloads embedded.
+#   3. refit-bench-diff gates fresh REFIT_FAST bench runs against the
+#      checked-in BENCH_*.json baselines (deterministic fields exact;
+#      timing noise-gated by provenance/scaling_valid).
+report_rc=0
+report_dir=$(mktemp -d)
+for t in 1 4; do
+  if ! REFIT_FAST=1 REFIT_THREADS=$t ./build/examples/quickstart \
+       --manual-clock \
+       "--trace-out=$report_dir/trace_$t.json" \
+       "--metrics-out=$report_dir/metrics_$t.json" \
+       "--timeseries-out=$report_dir/ts_$t.jsonl" \
+       "--events-out=$report_dir/events_$t.jsonl" > /dev/null; then
+    echo "  quickstart (REFIT_THREADS=$t) FAILED"
+    report_rc=1
+  fi
+done
+if [[ $report_rc -eq 0 ]]; then
+  if cmp -s "$report_dir/ts_1.jsonl" "$report_dir/ts_4.jsonl"; then
+    echo "  timeseries JSONL byte-identical at REFIT_THREADS=1 and 4" \
+         "($(wc -c < "$report_dir/ts_1.jsonl") bytes)"
+  else
+    echo "  timeseries JSONL DIFFERS across REFIT_THREADS"
+    report_rc=1
+  fi
+  if cmp -s "$report_dir/events_1.jsonl" "$report_dir/events_4.jsonl"; then
+    echo "  event JSONL byte-identical at REFIT_THREADS=1 and 4" \
+         "($(wc -l < "$report_dir/events_1.jsonl") events)"
+  else
+    echo "  event JSONL DIFFERS across REFIT_THREADS"
+    report_rc=1
+  fi
+fi
+if [[ ! -x build/tools/refit_report ]]; then
+  cmake --build build -j --target refit_report || true
+fi
+if ./build/tools/refit_report \
+     --trace "$report_dir/trace_1.json" \
+     --metrics "$report_dir/metrics_1.json" \
+     --timeseries "$report_dir/ts_1.jsonl" \
+     --events "$report_dir/events_1.jsonl" \
+     --title "check.sh quickstart" \
+     --out "$report_dir/report.html" 2> /dev/null &&
+   python3 - "$report_dir/report.html" <<'EOF'
+import json, sys
+html = open(sys.argv[1]).read()
+for pid in ("refit-trace", "refit-metrics", "refit-timeseries", "refit-events"):
+    marker = 'id="%s"' % pid
+    assert marker in html, "report missing embedded payload " + pid
+start = html.index('id="refit-metrics"')
+payload = html[html.index(">", start) + 1:html.index("</script>", start)]
+metrics = json.loads(payload.replace("<\\/", "</"))
+assert metrics["metrics"], "embedded metrics payload is empty"
+assert html.count("<svg") >= 3, "expected at least 3 rendered charts"
+print("  report.html OK (%d bytes, %d charts, %d metrics embedded)"
+      % (len(html), html.count("<svg"), len(metrics["metrics"])))
+EOF
+then
+  :
+else
+  echo "  refit-report FAILED"
+  report_rc=1
+fi
+if [[ ! -x build/tools/refit_bench_diff ]]; then
+  cmake --build build -j --target refit_bench_diff || true
+fi
+for gate in "BENCH_backend.json bench_backend" "BENCH_device.json soft_faults"; do
+  base=${gate% *}
+  bin=${gate#* }
+  if REFIT_FAST=1 REFIT_BENCH_OUT="$report_dir/fresh.json" \
+       "./build/bench/$bin" > /dev/null 2>&1 &&
+     ./build/tools/refit_bench_diff --baseline "$base" \
+       --candidate "$report_dir/fresh.json" 2>&1 | sed 's/^/  /'; then
+    echo "  bench-diff vs $base OK"
+  else
+    echo "  bench-diff vs $base FAILED"
+    report_rc=1
+  fi
+done
+rm -rf "$report_dir"
+record obs-report $report_rc
 
 banner "asan-ubsan: full test suite under ASan + UBSan"
 asan_rc=1

@@ -9,6 +9,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "obs/failure_hook.hpp"
+
 namespace refit {
 
 /// Exception thrown on violated preconditions and invariants.
@@ -20,6 +22,9 @@ class CheckError : public std::logic_error {
 namespace detail {
 [[noreturn]] inline void check_failed(const char* expr, const char* file,
                                       int line, const std::string& msg) {
+  // Flight recorder first: when the event log is enabled it dumps its
+  // tail to stderr here, before the throw unwinds any useful state.
+  obs::invoke_failure_hook();
   std::ostringstream os;
   os << "REFIT_CHECK failed: (" << expr << ") at " << file << ":" << line;
   if (!msg.empty()) os << " — " << msg;

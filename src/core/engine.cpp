@@ -9,6 +9,7 @@
 #include "common/log.hpp"
 #include "common/serialize.hpp"
 #include "nn/loss.hpp"
+#include "obs/events.hpp"
 #include "obs/metrics.hpp"
 
 namespace refit {
@@ -133,6 +134,13 @@ void DetectionPhase::run(EngineContext& ctx) {
   }
   ev.precision = confusion.precision();
   ev.recall = confusion.recall();
+  obs::EventLog::global().emit(
+      obs::EventKind::kFaultDetected, obs::EventSeverity::kInfo, "detection",
+      {{"iteration", static_cast<double>(ctx.iteration)},
+       {"cycles", static_cast<double>(ev.cycles)},
+       {"device_writes", static_cast<double>(ev.detection_writes)},
+       {"precision", ev.precision},
+       {"recall", ev.recall}});
   // Per-round detection quality gauges (docs/observability.md).
   static obs::Gauge precision_gauge =
       obs::MetricsRegistry::instance().gauge("detector.precision");
@@ -157,6 +165,14 @@ void DetectionPhase::run(EngineContext& ctx) {
     hard_r_gauge.set(ev.hard_recall);
     soft_p_gauge.set(ev.soft_precision);
     soft_r_gauge.set(ev.soft_recall);
+    obs::EventLog::global().emit(
+        obs::EventKind::kSoftClassified, obs::EventSeverity::kInfo,
+        "detection",
+        {{"iteration", static_cast<double>(ctx.iteration)},
+         {"cells_retested", static_cast<double>(ev.cells_retested)},
+         {"soft_detected", static_cast<double>(ev.soft_detected)},
+         {"soft_precision", ev.soft_precision},
+         {"soft_recall", ev.soft_recall}});
   }
 
   // "Generate pruning": compute the masks from the off-chip target weights
@@ -214,6 +230,16 @@ void RemapPhase::run(EngineContext& ctx) {
   PhaseEvent& ev = ctx.result.phases.back();
   ev.remap_cost_before = rr.cost_before;
   ev.remap_cost_after = rr.cost_after;
+  // A remap that leaves residual cost means pruned zeros could not cover
+  // every stuck cell — worth flagging above info level.
+  obs::EventLog::global().emit(
+      obs::EventKind::kRemap,
+      rr.cost_after > 0 ? obs::EventSeverity::kWarn
+                        : obs::EventSeverity::kInfo,
+      "remap",
+      {{"iteration", static_cast<double>(ctx.iteration)},
+       {"cost_before", static_cast<double>(rr.cost_before)},
+       {"cost_after", static_cast<double>(rr.cost_after)}});
 }
 
 // ---- EvalPhase -----------------------------------------------------------
@@ -225,6 +251,10 @@ bool EvalPhase::due(const EngineContext& ctx) const {
 
 void EvalPhase::run(EngineContext& ctx) {
   const double acc = ctx.evaluate(ctx.iteration);
+  // Exported as a gauge so the timeseries sampler sees accuracy-over-time.
+  static obs::Gauge acc_gauge =
+      obs::MetricsRegistry::instance().gauge("engine.eval_accuracy");
+  acc_gauge.set(acc);
   REFIT_DEBUG("iter " << ctx.iteration << " acc=" << acc);
 }
 
@@ -291,7 +321,17 @@ void FtEngine::step() {
   for (const auto& phase : phases_) {
     if (!phase->due(ctx_)) continue;
     for (auto* obs : observers_) obs->on_phase_begin(*phase, ctx_);
-    phase->run(ctx_);
+    try {
+      phase->run(ctx_);
+    } catch (...) {
+      // Record which phase broke before the exception unwinds the run;
+      // the flight recorder makes this visible in post-mortems.
+      obs::EventLog::global().emit(
+          obs::EventKind::kPhaseError, obs::EventSeverity::kError,
+          phase->name(),
+          {{"iteration", static_cast<double>(ctx_.iteration)}});
+      throw;
+    }
     for (auto* obs : observers_) obs->on_phase_end(*phase, ctx_);
   }
   if (ctx_.detection_iteration == ctx_.iteration &&
@@ -482,6 +522,10 @@ bool FtEngine::save_checkpoint(std::ostream& os) const {
 
   // Phase-local state (no-ops for the standard phases).
   for (const auto& phase : phases_) phase->save(os);
+  obs::EventLog::global().emit(
+      obs::EventKind::kCheckpoint, obs::EventSeverity::kInfo, "engine",
+      {{"iteration", static_cast<double>(ctx_.iteration)},
+       {"ok", os.good() ? 1.0 : 0.0}});
   return os.good();
 }
 

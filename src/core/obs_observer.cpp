@@ -2,9 +2,12 @@
 #include "core/obs_observer.hpp"
 
 #include <cstdio>
+#include <cstring>
 
 #include "obs/clock.hpp"
+#include "obs/timeseries.hpp"
 #include "obs/trace.hpp"
+#include "rcs/rcs_system.hpp"
 
 namespace refit {
 
@@ -52,7 +55,6 @@ void ObsObserver::on_phase_begin(const Phase& phase, const EngineContext& ctx) {
 }
 
 void ObsObserver::on_phase_end(const Phase& phase, const EngineContext& ctx) {
-  (void)ctx;
   const std::uint64_t end_ns = obs::now_ns();
   const std::uint64_t dur_ns = end_ns - phase_start_ns_;
   obs::Tracer::global().emit_complete(phase.name(), "phase", phase_start_ns_,
@@ -63,17 +65,36 @@ void ObsObserver::on_phase_end(const Phase& phase, const EngineContext& ctx) {
   stat.runs_metric.add();
   stat.ns_metric.add(dur_ns);
   phase_ns_histogram().observe(static_cast<double>(dur_ns));
+  // Detection rounds are the paper's unit of "on-line" progress: force a
+  // timeseries sample right after each one so precision/recall gauges are
+  // captured per round even with a coarse sampling period.
+  if (std::strcmp(phase.name(), "detection") == 0) {
+    obs::TimeseriesRecorder::global().sample_now(ctx.iteration);
+  }
 }
 
 void ObsObserver::on_iteration_end(const EngineContext& ctx) {
-  (void)ctx;
   static obs::Counter iters_metric =
       obs::MetricsRegistry::instance().counter("engine.iterations", "iters");
   iters_metric.add();
+  obs::TimeseriesRecorder::global().poll(ctx.iteration);
 }
 
 void ObsObserver::on_run_end(const EngineContext& ctx) {
-  (void)ctx;
+  // Per-cell device-write distribution at run end — the wear histogram the
+  // report's wear chart renders. Logical-cell counts follow remapped cells
+  // (see CrossbarWeightStore::cell_write_count).
+  if (ctx.rcs != nullptr) {
+    static obs::Histogram wear = obs::MetricsRegistry::instance().histogram(
+        "store.wear_writes", {1, 10, 100, 1e3, 1e4, 1e5, 1e6}, "writes");
+    for (const CrossbarWeightStore* store : ctx.rcs->stores()) {
+      for (std::size_t i = 0; i < store->rows(); ++i) {
+        for (std::size_t j = 0; j < store->cols(); ++j) {
+          wear.observe(static_cast<double>(store->cell_write_count(i, j)));
+        }
+      }
+    }
+  }
   const std::uint64_t end_ns = obs::now_ns();
   run_total_ns_ = end_ns - run_start_ns_;
   obs::Tracer::global().emit_complete("run", "engine", run_start_ns_,

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "detect/decoder.hpp"
+#include "obs/events.hpp"
 #include "obs/metrics.hpp"
 
 namespace refit {
@@ -346,6 +347,21 @@ DetectionOutcome QuiescentVoltageDetector::detect_store(
   static obs::Counter rounds_metric =
       obs::MetricsRegistry::instance().counter("detector.rounds", "rounds");
   rounds_metric.add();
+  // Per-store detection event (the engine emits the per-round aggregate).
+  // Serial — the tile fan-out has already joined — so event order is
+  // deterministic at any thread count.
+  std::uint64_t predicted_faults = 0;
+  for (std::size_t r = 0; r < out.predicted.rows(); ++r) {
+    for (std::size_t c = 0; c < out.predicted.cols(); ++c) {
+      if (out.predicted.faulty(r, c)) ++predicted_faults;
+    }
+  }
+  obs::EventLog::global().emit(
+      obs::EventKind::kFaultDetected, obs::EventSeverity::kInfo, "store",
+      {{"cells_tested", static_cast<double>(out.cells_tested)},
+       {"predicted_faults", static_cast<double>(predicted_faults)},
+       {"cycles", static_cast<double>(out.cycles)},
+       {"device_writes", static_cast<double>(out.device_writes)}});
   store.invalidate();
   return out;
 }

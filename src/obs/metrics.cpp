@@ -12,6 +12,29 @@
 
 namespace refit::obs {
 
+// Defined outside the REFIT_OBS gate: a pure function of snapshot data,
+// used by both the writers here and the timeseries sampler.
+double MetricSnapshot::percentile(double q) const {
+  if (type != MetricType::kHistogram || count == 0) return 0.0;
+  q = std::min(1.0, std::max(0.0, q));
+  const double target = q * static_cast<double>(count);
+  std::uint64_t cum = 0;
+  for (std::size_t b = 0; b < buckets.size(); ++b) {
+    const std::uint64_t prev = cum;
+    cum += buckets[b];
+    if (buckets[b] == 0 || static_cast<double>(cum) < target) continue;
+    const double lo = b == 0 ? 0.0 : bounds[b - 1];
+    const double hi = b < bounds.size()
+                          ? bounds[b]
+                          : (bounds.empty() ? 0.0 : bounds.back());
+    double frac = (target - static_cast<double>(prev)) /
+                  static_cast<double>(buckets[b]);
+    frac = std::min(1.0, std::max(0.0, frac));
+    return lo + (hi - lo) * frac;
+  }
+  return bounds.empty() ? 0.0 : bounds.back();
+}
+
 #if REFIT_OBS_ENABLED
 
 namespace {
@@ -170,6 +193,9 @@ void MetricsRegistry::write_json(std::ostream& os) const {
         break;
       case MetricType::kHistogram: {
         os << ",\"count\":" << s.count << ",\"sum\":" << fmt_double(s.value)
+           << ",\"p50\":" << fmt_double(s.percentile(0.50))
+           << ",\"p95\":" << fmt_double(s.percentile(0.95))
+           << ",\"p99\":" << fmt_double(s.percentile(0.99))
            << ",\"bounds\":[";
         for (std::size_t b = 0; b < s.bounds.size(); ++b)
           os << (b ? "," : "") << fmt_double(s.bounds[b]);
@@ -186,7 +212,7 @@ void MetricsRegistry::write_json(std::ostream& os) const {
 }
 
 void MetricsRegistry::write_csv(std::ostream& os) const {
-  os << "name,type,unit,value,count,buckets\n";
+  os << "name,type,unit,value,count,p50,p95,p99,buckets\n";
   for (const MetricSnapshot& s : snapshot()) {
     os << s.name << "," << type_name(s.type) << "," << s.unit << ",";
     if (s.type == MetricType::kCounter)
@@ -194,6 +220,13 @@ void MetricsRegistry::write_csv(std::ostream& os) const {
     else
       os << fmt_double(s.value);
     os << "," << s.count << ",";
+    if (s.type == MetricType::kHistogram) {
+      os << fmt_double(s.percentile(0.50)) << ","
+         << fmt_double(s.percentile(0.95)) << ","
+         << fmt_double(s.percentile(0.99)) << ",";
+    } else {
+      os << ",,,";
+    }
     for (std::size_t b = 0; b < s.buckets.size(); ++b)
       os << (b ? ";" : "") << s.buckets[b];
     os << "\n";
@@ -207,7 +240,7 @@ void MetricsRegistry::write_json(std::ostream& os) const {
 }
 
 void MetricsRegistry::write_csv(std::ostream& os) const {
-  os << "name,type,unit,value,count,buckets\n";
+  os << "name,type,unit,value,count,p50,p95,p99,buckets\n";
 }
 
 #endif  // REFIT_OBS_ENABLED

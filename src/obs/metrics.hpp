@@ -47,6 +47,13 @@ struct MetricSnapshot {
   std::uint64_t count = 0;  // counter total / histogram sample count
   std::vector<double> bounds;          // histogram upper bounds (finite)
   std::vector<std::uint64_t> buckets;  // bounds.size() + 1 (last = overflow)
+
+  /// Bucket-interpolated percentile estimate for histograms: walks the
+  /// cumulative counts to the bucket holding rank q*count and
+  /// interpolates linearly inside it (the overflow bucket clamps to the
+  /// last finite bound). Deterministic — a pure function of the snapshot.
+  /// Returns 0 for empty histograms and non-histogram types.
+  [[nodiscard]] double percentile(double q) const;
 };
 
 #if REFIT_OBS_ENABLED

@@ -9,6 +9,7 @@
 #include <utility>
 
 #include "common/serialize.hpp"
+#include "obs/events.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "tensor/gemm.hpp"
@@ -494,14 +495,21 @@ void CrossbarWeightStore::set_permutations(std::vector<std::size_t> row_perm,
   // means every physical cell with a new occupant is rewritten here, so the
   // per-tile dirty marks from write_logical cover exactly the tiles whose
   // effective entries can have changed — no blanket invalidation needed.
+  std::uint64_t rewritten = 0;
   for (std::size_t i = 0; i < r; ++i) {
     const bool row_moved = old_rows[i] != map_.physical_row(i);
     for (std::size_t j = 0; j < c; ++j) {
       if (row_moved || old_cols[j] != map_.physical_col(j)) {
         write_logical(i, j);
+        ++rewritten;
       }
     }
   }
+  obs::EventLog::global().emit(
+      obs::EventKind::kRemap, obs::EventSeverity::kInfo, "store",
+      {{"rows", static_cast<double>(r)},
+       {"cols", static_cast<double>(c)},
+       {"cells_rewritten", static_cast<double>(rewritten)}});
 }
 
 namespace {

@@ -292,8 +292,14 @@ TEST_F(ObsTest, JsonAndCsvSnapshotsParse) {
   std::ostringstream cs;
   MetricsRegistry::instance().write_csv(cs);
   const std::string csv = cs.str();
-  EXPECT_EQ(csv.rfind("name,type,unit,value,count,buckets\n", 0), 0u);
+  EXPECT_EQ(csv.rfind("name,type,unit,value,count,p50,p95,p99,buckets\n", 0),
+            0u);
   EXPECT_NE(csv.find("test.out.count,counter,ops,42"), std::string::npos);
+  // Histogram rows carry the interpolated percentile columns; scalar rows
+  // leave them empty.
+  EXPECT_NE(js.str().find("\"p50\":"), std::string::npos);
+  EXPECT_NE(csv.find("test.out.count,counter,ops,42,42,,,"),
+            std::string::npos);
 
   // Two snapshots with no writes in between are byte-identical.
   std::ostringstream js2;

@@ -1,0 +1,259 @@
+// Recursive-descent JSON/JSONL reader behind tools/common/json.hpp:
+// order-preserving objects, raw number/string text for lossless display.
+#include "common/json.hpp"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace refit::tools {
+
+const JsonValue* JsonValue::find(const std::string& key) const {
+  if (kind != Kind::kObject) return nullptr;
+  for (const auto& [k, v] : members) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+std::string JsonValue::display() const {
+  switch (kind) {
+    case Kind::kNull:
+      return "null";
+    case Kind::kBool:
+      return boolean ? "true" : "false";
+    case Kind::kNumber:
+    case Kind::kString:
+      return raw;
+    case Kind::kArray:
+      return "[array]";
+    case Kind::kObject:
+      return "{object}";
+  }
+  return "?";
+}
+
+namespace {
+
+struct Parser {
+  const std::string& text;
+  std::size_t pos = 0;
+  std::string error;
+
+  bool fail(const std::string& msg) {
+    if (error.empty()) {
+      error = "offset " + std::to_string(pos) + ": " + msg;
+    }
+    return false;
+  }
+
+  void skip_ws() {
+    while (pos < text.size() &&
+           (text[pos] == ' ' || text[pos] == '\t' || text[pos] == '\n' ||
+            text[pos] == '\r')) {
+      ++pos;
+    }
+  }
+
+  bool consume(char c) {
+    skip_ws();
+    if (pos < text.size() && text[pos] == c) {
+      ++pos;
+      return true;
+    }
+    return fail(std::string("expected '") + c + "'");
+  }
+
+  bool parse_string(std::string& out) {
+    if (pos >= text.size() || text[pos] != '"') return fail("expected '\"'");
+    ++pos;
+    out.clear();
+    while (pos < text.size()) {
+      const char c = text[pos++];
+      if (c == '"') return true;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos >= text.size()) return fail("dangling escape");
+      const char e = text[pos++];
+      switch (e) {
+        case '"':
+        case '\\':
+        case '/':
+          out.push_back(e);
+          break;
+        case 'b':
+          out.push_back('\b');
+          break;
+        case 'f':
+          out.push_back('\f');
+          break;
+        case 'n':
+          out.push_back('\n');
+          break;
+        case 'r':
+          out.push_back('\r');
+          break;
+        case 't':
+          out.push_back('\t');
+          break;
+        case 'u': {
+          // Tool artifacts are ASCII; decode BMP escapes to '?' rather
+          // than growing a full UTF-8 encoder.
+          if (pos + 4 > text.size()) return fail("truncated \\u escape");
+          pos += 4;
+          out.push_back('?');
+          break;
+        }
+        default:
+          return fail("bad escape");
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  bool parse_value(JsonValue& out) {
+    skip_ws();
+    if (pos >= text.size()) return fail("unexpected end of input");
+    const char c = text[pos];
+    if (c == '{') {
+      ++pos;
+      out.kind = JsonValue::Kind::kObject;
+      skip_ws();
+      if (pos < text.size() && text[pos] == '}') {
+        ++pos;
+        return true;
+      }
+      for (;;) {
+        skip_ws();
+        std::string key;
+        if (!parse_string(key)) return false;
+        if (!consume(':')) return false;
+        JsonValue v;
+        if (!parse_value(v)) return false;
+        out.members.emplace_back(std::move(key), std::move(v));
+        skip_ws();
+        if (pos < text.size() && text[pos] == ',') {
+          ++pos;
+          continue;
+        }
+        return consume('}');
+      }
+    }
+    if (c == '[') {
+      ++pos;
+      out.kind = JsonValue::Kind::kArray;
+      skip_ws();
+      if (pos < text.size() && text[pos] == ']') {
+        ++pos;
+        return true;
+      }
+      for (;;) {
+        JsonValue v;
+        if (!parse_value(v)) return false;
+        out.items.push_back(std::move(v));
+        skip_ws();
+        if (pos < text.size() && text[pos] == ',') {
+          ++pos;
+          continue;
+        }
+        return consume(']');
+      }
+    }
+    if (c == '"') {
+      out.kind = JsonValue::Kind::kString;
+      return parse_string(out.raw);
+    }
+    if (text.compare(pos, 4, "true") == 0) {
+      out.kind = JsonValue::Kind::kBool;
+      out.boolean = true;
+      pos += 4;
+      return true;
+    }
+    if (text.compare(pos, 5, "false") == 0) {
+      out.kind = JsonValue::Kind::kBool;
+      out.boolean = false;
+      pos += 5;
+      return true;
+    }
+    if (text.compare(pos, 4, "null") == 0) {
+      out.kind = JsonValue::Kind::kNull;
+      pos += 4;
+      return true;
+    }
+    // Number.
+    const std::size_t start = pos;
+    if (pos < text.size() && (text[pos] == '-' || text[pos] == '+')) ++pos;
+    bool digits = false;
+    while (pos < text.size() &&
+           (std::isdigit(static_cast<unsigned char>(text[pos])) != 0 ||
+            text[pos] == '.' || text[pos] == 'e' || text[pos] == 'E' ||
+            text[pos] == '+' || text[pos] == '-')) {
+      if (std::isdigit(static_cast<unsigned char>(text[pos])) != 0) {
+        digits = true;
+      }
+      ++pos;
+    }
+    if (!digits) {
+      pos = start;
+      return fail("unexpected token");
+    }
+    out.kind = JsonValue::Kind::kNumber;
+    out.raw = text.substr(start, pos - start);
+    out.number = std::strtod(out.raw.c_str(), nullptr);
+    return true;
+  }
+};
+
+}  // namespace
+
+std::optional<JsonValue> json_parse(const std::string& text,
+                                    std::string* error) {
+  Parser p{text, 0, {}};
+  JsonValue v;
+  if (!p.parse_value(v)) {
+    if (error != nullptr) *error = p.error;
+    return std::nullopt;
+  }
+  p.skip_ws();
+  if (p.pos != text.size()) {
+    if (error != nullptr) {
+      *error = "offset " + std::to_string(p.pos) + ": trailing content";
+    }
+    return std::nullopt;
+  }
+  return v;
+}
+
+std::vector<JsonValue> jsonl_parse(const std::string& text,
+                                   std::size_t* bad_lines) {
+  std::vector<JsonValue> out;
+  if (bad_lines != nullptr) *bad_lines = 0;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    std::size_t end = text.find('\n', start);
+    if (end == std::string::npos) end = text.size();
+    const std::string line = text.substr(start, end - start);
+    start = end + 1;
+    bool blank = true;
+    for (const char c : line) {
+      if (c != ' ' && c != '\t' && c != '\r') {
+        blank = false;
+        break;
+      }
+    }
+    if (blank) {
+      if (end == text.size()) break;
+      continue;
+    }
+    if (auto v = json_parse(line)) {
+      out.push_back(std::move(*v));
+    } else if (bad_lines != nullptr) {
+      ++*bad_lines;
+    }
+    if (end == text.size()) break;
+  }
+  return out;
+}
+
+}  // namespace refit::tools

@@ -1,0 +1,56 @@
+// Minimal JSON reader shared by the offline tools (refit_report,
+// refit_bench_diff). Parses the full JSON grammar into a JsonValue tree;
+// object members keep their source order (the BENCH_*.json diff walks
+// fields in emission order for stable reports). Numbers keep both the
+// parsed double and the raw source text, so a diff can print values
+// exactly as they appear in the artifact.
+//
+// This is a reader for trusted, tool-generated files — on malformed input
+// parse() returns std::nullopt with a one-line error, never throws.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace refit::tools {
+
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string raw;     // number: source text; string: decoded value
+  std::vector<JsonValue> items;                             // array
+  std::vector<std::pair<std::string, JsonValue>> members;   // object
+
+  [[nodiscard]] bool is_null() const { return kind == Kind::kNull; }
+  [[nodiscard]] bool is_bool() const { return kind == Kind::kBool; }
+  [[nodiscard]] bool is_number() const { return kind == Kind::kNumber; }
+  [[nodiscard]] bool is_string() const { return kind == Kind::kString; }
+  [[nodiscard]] bool is_array() const { return kind == Kind::kArray; }
+  [[nodiscard]] bool is_object() const { return kind == Kind::kObject; }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  [[nodiscard]] const JsonValue* find(const std::string& key) const;
+
+  /// The value as it should be shown to a human: raw text for numbers,
+  /// decoded text for strings, true/false/null otherwise.
+  [[nodiscard]] std::string display() const;
+};
+
+/// Parse one JSON document. On failure returns nullopt and, when `error`
+/// is non-null, stores "offset N: message".
+std::optional<JsonValue> json_parse(const std::string& text,
+                                    std::string* error = nullptr);
+
+/// Parse a JSONL payload: one JSON value per non-empty line. Lines that
+/// fail to parse are skipped (counted in `bad_lines` when non-null).
+std::vector<JsonValue> jsonl_parse(const std::string& text,
+                                   std::size_t* bad_lines = nullptr);
+
+}  // namespace refit::tools

@@ -1,0 +1,59 @@
+// Tests for the shared JSON reader (tools/common/json.hpp).
+#include "common/json.hpp"
+
+#include <gtest/gtest.h>
+
+namespace refit::tools {
+namespace {
+
+TEST(Json, ParsesScalars) {
+  EXPECT_TRUE(json_parse("null")->is_null());
+  EXPECT_TRUE(json_parse("true")->boolean);
+  EXPECT_FALSE(json_parse("false")->boolean);
+  EXPECT_DOUBLE_EQ(json_parse("-2.5e3")->number, -2500.0);
+  EXPECT_EQ(json_parse("-2.5e3")->raw, "-2.5e3");
+  EXPECT_EQ(json_parse("\"a\\nb\\\"c\"")->raw, "a\nb\"c");
+}
+
+TEST(Json, ObjectKeepsMemberOrderAndFinds) {
+  const auto v = json_parse(R"({"z": 1, "a": {"nested": [1, 2, 3]}})");
+  ASSERT_TRUE(v.has_value());
+  ASSERT_TRUE(v->is_object());
+  ASSERT_EQ(v->members.size(), 2u);
+  EXPECT_EQ(v->members[0].first, "z");  // source order, not sorted
+  EXPECT_EQ(v->members[1].first, "a");
+  const JsonValue* nested = v->find("a");
+  ASSERT_NE(nested, nullptr);
+  const JsonValue* arr = nested->find("nested");
+  ASSERT_NE(arr, nullptr);
+  ASSERT_EQ(arr->items.size(), 3u);
+  EXPECT_DOUBLE_EQ(arr->items[2].number, 3.0);
+  EXPECT_EQ(v->find("missing"), nullptr);
+}
+
+TEST(Json, RejectsMalformedWithOffsetError) {
+  std::string err;
+  EXPECT_FALSE(json_parse("{\"a\": }", &err).has_value());
+  EXPECT_NE(err.find("offset"), std::string::npos);
+  EXPECT_FALSE(json_parse("[1, 2", &err).has_value());
+  EXPECT_FALSE(json_parse("{} trailing", &err).has_value());
+  EXPECT_FALSE(json_parse("nope", &err).has_value());
+}
+
+TEST(Json, DisplayUsesRawNumberText) {
+  const auto v = json_parse(R"({"seconds": 0.0572741})");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->find("seconds")->display(), "0.0572741");
+  EXPECT_EQ(json_parse("true")->display(), "true");
+}
+
+TEST(Json, JsonlSkipsBlankAndBadLines) {
+  std::size_t bad = 0;
+  const auto rows = jsonl_parse("{\"a\":1}\n\nnot json\n{\"b\":2}\n", &bad);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(bad, 1u);
+  EXPECT_DOUBLE_EQ(rows[1].find("b")->number, 2.0);
+}
+
+}  // namespace
+}  // namespace refit::tools

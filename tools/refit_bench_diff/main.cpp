@@ -1,0 +1,133 @@
+// refit-bench-diff CLI: compare a freshly produced BENCH_*.json artifact
+// against its checked-in baseline (see bench_diff.hpp for the gating
+// rules: deterministic fields exact, timing fields thresholded and only
+// on a matching, non-oversubscribed host).
+//
+// Usage:
+//   refit_bench_diff --baseline FILE --candidate FILE [options]
+//
+//   --baseline FILE    checked-in artifact (also: --baseline=FILE)
+//   --candidate FILE   freshly produced artifact (also: --candidate=FILE)
+//   --threshold F=X    override the relative tolerance for timing field F
+//                      (repeatable, e.g. --threshold seconds=0.25)
+//   --json             machine output on stdout: {"pass": ..,
+//                      "findings": [...]}; markdown summary on stderr
+//
+// Exit status: 0 = pass, 1 = regression findings, 2 = usage or I/O error.
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "bench_diff.hpp"
+
+namespace {
+
+bool read_file(const std::string& path, std::string& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  out = ss.str();
+  return true;
+}
+
+/// Accepts "--flag VALUE" and "--flag=VALUE"; advances i for the former.
+bool flag_value(int argc, char** argv, int& i, const std::string& name,
+                std::string& out) {
+  const std::string arg = argv[i];
+  if (arg == name) {
+    if (i + 1 >= argc) {
+      std::cerr << "refit_bench_diff: " << name << " needs a value\n";
+      std::exit(2);
+    }
+    out = argv[++i];
+    return true;
+  }
+  if (arg.rfind(name + "=", 0) == 0) {
+    out = arg.substr(name.size() + 1);
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using refit::tools::BenchDiffOptions;
+  using refit::tools::diff_bench;
+  using refit::tools::is_timing_field;
+
+  std::string baseline_path;
+  std::string candidate_path;
+  bool json_out = false;
+  BenchDiffOptions opts;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    std::string value;
+    if (flag_value(argc, argv, i, "--baseline", baseline_path)) continue;
+    if (flag_value(argc, argv, i, "--candidate", candidate_path)) continue;
+    if (flag_value(argc, argv, i, "--threshold", value)) {
+      const std::size_t eq = value.find('=');
+      if (eq == std::string::npos || eq == 0) {
+        std::cerr << "refit_bench_diff: --threshold wants field=x, got '"
+                  << value << "'\n";
+        return 2;
+      }
+      const std::string field = value.substr(0, eq);
+      if (!is_timing_field(field)) {
+        std::cerr << "refit_bench_diff: '" << field
+                  << "' is not a timing field (deterministic fields always "
+                     "compare exactly)\n";
+        return 2;
+      }
+      opts.thresholds[field] = std::strtod(value.c_str() + eq + 1, nullptr);
+      continue;
+    }
+    if (arg == "--json") {
+      json_out = true;
+      continue;
+    }
+    std::cerr << "refit_bench_diff: unknown argument '" << arg << "'\n";
+    return 2;
+  }
+  if (baseline_path.empty() || candidate_path.empty()) {
+    std::cerr << "usage: refit_bench_diff --baseline FILE --candidate FILE "
+                 "[--threshold field=x]... [--json]\n";
+    return 2;
+  }
+
+  std::string base_text;
+  std::string cand_text;
+  if (!read_file(baseline_path, base_text)) {
+    std::cerr << "refit_bench_diff: cannot read " << baseline_path << "\n";
+    return 2;
+  }
+  if (!read_file(candidate_path, cand_text)) {
+    std::cerr << "refit_bench_diff: cannot read " << candidate_path << "\n";
+    return 2;
+  }
+  std::string err;
+  const auto base = refit::tools::json_parse(base_text, &err);
+  if (!base) {
+    std::cerr << "refit_bench_diff: " << baseline_path << ": " << err << "\n";
+    return 2;
+  }
+  const auto cand = refit::tools::json_parse(cand_text, &err);
+  if (!cand) {
+    std::cerr << "refit_bench_diff: " << candidate_path << ": " << err << "\n";
+    return 2;
+  }
+
+  const auto report = diff_bench(*base, *cand, opts);
+  if (json_out) {
+    std::cout << report.json();
+    std::cerr << report.markdown();
+  } else {
+    std::cout << report.markdown();
+  }
+  return report.pass ? 0 : 1;
+}

@@ -131,6 +131,11 @@ const std::vector<RuleInfo>& rules() {
        "strong_write / drift_toward / decay_soft_faults) outside src/device, "
        "src/rram, and rcs/crossbar_store — go through the CellEncoding / "
        "DeviceNoiseModel seam"},
+      {"obs-event",
+       "std::cout/std::cerr in src/ outside src/obs and common/log — emit "
+       "fault/remap/checkpoint status through the structured event log "
+       "(obs/events.hpp) or REFIT_LOG so run reports and the flight "
+       "recorder see it"},
       {"inference-effective",
        "store.effective() / store->effective() on an inference path "
        "(src/nn, src/core) outside nn/weight_store — call "
@@ -166,6 +171,10 @@ std::vector<Finding> lint_source(const std::string& path,
   // the inference side.
   const bool inference_side =
       (mod == "nn" || mod == "core") && !path_contains(path, "nn/weight_store");
+  // src/obs prints the flight-recorder tail itself and common/log owns the
+  // serialized sink; every other src/ module goes through events/REFIT_LOG.
+  const bool owns_streams =
+      mod.empty() || mod == "obs" || path_contains(path, "common/log");
   // src/obs is the only module allowed to read a raw std::chrono clock —
   // everything else must go through the Clock seam (obs/clock.hpp) so
   // golden traces stay deterministic under ManualClock.
@@ -270,6 +279,18 @@ std::vector<Finding> lint_source(const std::string& path,
                "std::" + name +
                    " outside common/rng — draw from refit::Rng so runs "
                    "are reproducible from one seed");
+      }
+      // Library modules must not write status to the process streams:
+      // the event log feeds run reports and the flight recorder, and
+      // REFIT_LOG serializes through common/log. (Tests, benches, tools
+      // and examples — mod empty — print freely.)
+      if (!owns_streams && (name == "cout" || name == "cerr")) {
+        report("obs-event", tok.line,
+               "std::" + name +
+                   " in src/" + mod +
+                   " — emit status through the structured event log "
+                   "(obs/events.hpp) or REFIT_LOG instead of the process "
+                   "streams so run reports and the flight recorder see it");
       }
     }
 

@@ -1,0 +1,11 @@
+// Fixture: src/obs owns the flight-recorder tail printer, so its stream
+// writes are exempt from the obs-event rule (no expected findings).
+#include <iostream>
+
+namespace refit::obs {
+
+void dump_tail_fixture() {
+  std::cerr << "== flight recorder tail ==\n";
+}
+
+}  // namespace refit::obs

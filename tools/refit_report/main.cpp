@@ -1,0 +1,94 @@
+// refit-report CLI: merge a run's observability artifacts into one
+// self-contained HTML dashboard (see report.hpp).
+//
+// Usage:
+//   refit_report [--trace F] [--metrics F] [--timeseries F] [--events F]
+//                --out FILE [--title TEXT]
+//
+// All inputs are optional (also accepted as --flag=value); a missing or
+// unreadable file renders its section as "not captured" rather than
+// failing, so partial runs still produce a report.
+//
+// Exit status: 0 = report written, 2 = usage error or output unwritable.
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "report.hpp"
+
+namespace {
+
+std::string read_file_or_empty(const std::string& path, const char* what) {
+  if (path.empty()) return {};
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::cerr << "refit_report: " << what << " file " << path
+              << " unreadable; section will read 'not captured'\n";
+    return {};
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+bool flag_value(int argc, char** argv, int& i, const std::string& name,
+                std::string& out) {
+  const std::string arg = argv[i];
+  if (arg == name) {
+    if (i + 1 >= argc) {
+      std::cerr << "refit_report: " << name << " needs a value\n";
+      std::exit(2);
+    }
+    out = argv[++i];
+    return true;
+  }
+  if (arg.rfind(name + "=", 0) == 0) {
+    out = arg.substr(name.size() + 1);
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string trace_path, metrics_path, timeseries_path, events_path;
+  std::string out_path;
+  std::string title = "refit run report";
+
+  for (int i = 1; i < argc; ++i) {
+    if (flag_value(argc, argv, i, "--trace", trace_path)) continue;
+    if (flag_value(argc, argv, i, "--metrics", metrics_path)) continue;
+    if (flag_value(argc, argv, i, "--timeseries", timeseries_path)) continue;
+    if (flag_value(argc, argv, i, "--events", events_path)) continue;
+    if (flag_value(argc, argv, i, "--out", out_path)) continue;
+    if (flag_value(argc, argv, i, "--title", title)) continue;
+    std::cerr << "refit_report: unknown argument '" << argv[i] << "'\n";
+    return 2;
+  }
+  if (out_path.empty()) {
+    std::cerr << "usage: refit_report [--trace F] [--metrics F] "
+                 "[--timeseries F] [--events F] --out FILE [--title TEXT]\n";
+    return 2;
+  }
+
+  refit::tools::ReportInputs inputs;
+  inputs.trace_json = read_file_or_empty(trace_path, "trace");
+  inputs.metrics_json = read_file_or_empty(metrics_path, "metrics");
+  inputs.timeseries_jsonl = read_file_or_empty(timeseries_path, "timeseries");
+  inputs.events_jsonl = read_file_or_empty(events_path, "events");
+
+  const std::string html =
+      refit::tools::generate_report_html(inputs, title);
+  std::ofstream os(out_path, std::ios::binary);
+  if (!os) {
+    std::cerr << "refit_report: cannot write " << out_path << "\n";
+    return 2;
+  }
+  os << html;
+  std::cerr << "refit_report: wrote " << out_path << " (" << html.size()
+            << " bytes)\n";
+  return 0;
+}

@@ -1,0 +1,532 @@
+// HTML dashboard renderer behind refit-report (see report.hpp): section
+// builders parse each artifact with tools/common/json and emit inline
+// SVG charts; everything degrades to a note when a payload is absent.
+#include "report.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "common/json.hpp"
+
+namespace refit::tools {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Text plumbing.
+
+std::string html_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+/// Payloads go into <script type="application/json"> blocks verbatim
+/// except that "</" must not appear (it would close the script element).
+std::string script_embed_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '<' && i + 1 < s.size() && s[i + 1] == '/') {
+      out += "<\\/";
+      ++i;
+      continue;
+    }
+    out.push_back(s[i]);
+  }
+  return out;
+}
+
+std::string fmt_num(double v) {
+  char buf[48];
+  if (v == 0.0) return "0";
+  const double a = std::abs(v);
+  if (a >= 1e6 || a < 1e-3) {
+    std::snprintf(buf, sizeof(buf), "%.3g", v);
+  } else if (v == std::floor(v) && a < 1e15) {
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.4g", v);
+  }
+  return buf;
+}
+
+// ---------------------------------------------------------------------------
+// SVG chart builders. Shared geometry: one y axis, horizontal gridlines,
+// recessive axis text in the muted ink token, data in the palette slots.
+
+constexpr int kChartW = 680;
+constexpr int kChartH = 260;
+constexpr int kMarginL = 64;
+constexpr int kMarginR = 110;  // room for direct series labels
+constexpr int kMarginT = 16;
+constexpr int kMarginB = 34;
+
+struct Series {
+  std::string label;
+  std::string color;  // CSS var reference, e.g. "var(--s1)"
+  std::vector<std::pair<double, double>> pts;  // (x, y)
+};
+
+/// Round a raw max up to a tidy tick ceiling (1/2/5 ladder).
+double nice_ceil(double v) {
+  if (v <= 0.0) return 1.0;
+  const double mag = std::pow(10.0, std::floor(std::log10(v)));
+  for (const double m : {1.0, 2.0, 5.0, 10.0}) {
+    if (v <= m * mag * (1.0 + 1e-12)) return m * mag;
+  }
+  return 10.0 * mag;
+}
+
+void svg_open(std::string& out, int w, int h) {
+  out += "<svg viewBox=\"0 0 " + std::to_string(w) + " " +
+         std::to_string(h) + "\" role=\"img\" class=\"chart\">\n";
+}
+
+void svg_text(std::string& out, double x, double y, const std::string& cls,
+              const std::string& anchor, const std::string& text) {
+  out += "  <text x=\"" + fmt_num(x) + "\" y=\"" + fmt_num(y) +
+         "\" class=\"" + cls + "\" text-anchor=\"" + anchor + "\">" +
+         html_escape(text) + "</text>\n";
+}
+
+/// Multi-series line chart. Y starts at zero (rates and accuracies here
+/// are all ratios); X spans the data. Direct labels at the line ends.
+std::string line_chart(const std::vector<Series>& series,
+                       const std::string& x_label, double y_max_hint = 0.0) {
+  std::string out;
+  double xmin = 0.0, xmax = 1.0, ymax = y_max_hint;
+  bool have_x = false;
+  for (const Series& s : series) {
+    for (const auto& [x, y] : s.pts) {
+      if (!have_x) {
+        xmin = xmax = x;
+        have_x = true;
+      }
+      xmin = std::min(xmin, x);
+      xmax = std::max(xmax, x);
+      ymax = std::max(ymax, y);
+    }
+  }
+  if (xmax <= xmin) xmax = xmin + 1.0;
+  ymax = nice_ceil(ymax);
+  const double plot_w = kChartW - kMarginL - kMarginR;
+  const double plot_h = kChartH - kMarginT - kMarginB;
+  const auto px = [&](double x) {
+    return kMarginL + (x - xmin) / (xmax - xmin) * plot_w;
+  };
+  const auto py = [&](double y) {
+    return kMarginT + (1.0 - y / ymax) * plot_h;
+  };
+
+  svg_open(out, kChartW, kChartH);
+  for (int t = 0; t <= 4; ++t) {  // horizontal gridlines + y ticks
+    const double yv = ymax * t / 4.0;
+    const double yy = py(yv);
+    out += "  <line x1=\"" + fmt_num(kMarginL) + "\" y1=\"" + fmt_num(yy) +
+           "\" x2=\"" + fmt_num(kMarginL + plot_w) + "\" y2=\"" +
+           fmt_num(yy) + "\" class=\"grid\"/>\n";
+    svg_text(out, kMarginL - 8, yy + 4, "tick", "end", fmt_num(yv));
+  }
+  for (int t = 0; t <= 4; ++t) {  // x ticks
+    const double xv = xmin + (xmax - xmin) * t / 4.0;
+    svg_text(out, px(xv), kMarginT + plot_h + 18, "tick", "middle",
+             fmt_num(xv));
+  }
+  svg_text(out, kMarginL + plot_w / 2.0, kChartH - 4, "axis", "middle",
+           x_label);
+
+  for (const Series& s : series) {
+    if (s.pts.empty()) continue;
+    std::string points;
+    for (const auto& [x, y] : s.pts) {
+      points += fmt_num(px(x)) + "," + fmt_num(py(y)) + " ";
+    }
+    out += "  <polyline points=\"" + points +
+           "\" fill=\"none\" stroke=\"" + s.color +
+           "\" stroke-width=\"2\" stroke-linejoin=\"round\"/>\n";
+    // Hover targets: an invisible fat circle carrying the native tooltip.
+    for (const auto& [x, y] : s.pts) {
+      out += "  <circle cx=\"" + fmt_num(px(x)) + "\" cy=\"" +
+             fmt_num(py(y)) + "\" r=\"7\" fill=\"transparent\"><title>" +
+             html_escape(s.label) + " @ " + fmt_num(x) + ": " + fmt_num(y) +
+             "</title></circle>\n";
+    }
+    const auto& [lx, ly] = s.pts.back();
+    out += "  <text x=\"" + fmt_num(px(lx) + 8) + "\" y=\"" +
+           fmt_num(py(ly) + 4) + "\" class=\"slabel\" fill=\"" + s.color +
+           "\">" + html_escape(s.label) + "</text>\n";
+  }
+  out += "</svg>\n";
+  return out;
+}
+
+/// Horizontal bar chart (one hue): category labels left, values at the
+/// bar ends in ink, 2px gaps between bars via row spacing.
+std::string hbar_chart(const std::vector<std::pair<std::string, double>>& rows,
+                       const std::string& unit) {
+  std::string out;
+  double vmax = 0.0;
+  for (const auto& [_, v] : rows) vmax = std::max(vmax, v);
+  vmax = nice_ceil(vmax);
+  const int label_w = 170;
+  const int row_h = 26;
+  const int bar_h = 16;
+  const int h = kMarginT + static_cast<int>(rows.size()) * row_h + 8;
+  const double plot_w = kChartW - label_w - 90;
+
+  svg_open(out, kChartW, h);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const double y = kMarginT + static_cast<double>(i) * row_h;
+    const double w = rows[i].second / vmax * plot_w;
+    svg_text(out, label_w - 8, y + bar_h - 3, "tick", "end", rows[i].first);
+    out += "  <rect x=\"" + std::to_string(label_w) + "\" y=\"" +
+           fmt_num(y) + "\" width=\"" + fmt_num(std::max(w, 1.0)) +
+           "\" height=\"" + std::to_string(bar_h) +
+           "\" rx=\"4\" fill=\"var(--s1)\"><title>" +
+           html_escape(rows[i].first) + ": " + fmt_num(rows[i].second) + " " +
+           unit + "</title></rect>\n";
+    svg_text(out, label_w + std::max(w, 1.0) + 6, y + bar_h - 3, "vlabel",
+             "start", fmt_num(rows[i].second) + " " + unit);
+  }
+  out += "</svg>\n";
+  return out;
+}
+
+/// Vertical histogram bars from bucket bounds + counts (one hue,
+/// 2px surface gap between bars).
+std::string histogram_chart(const std::vector<double>& bounds,
+                            const std::vector<double>& buckets,
+                            const std::string& x_label) {
+  std::string out;
+  double vmax = 0.0;
+  for (const double b : buckets) vmax = std::max(vmax, b);
+  vmax = nice_ceil(vmax);
+  const double plot_w = kChartW - kMarginL - 24;
+  const double plot_h = kChartH - kMarginT - kMarginB;
+  const double slot = plot_w / static_cast<double>(buckets.size());
+
+  svg_open(out, kChartW, kChartH);
+  for (int t = 0; t <= 4; ++t) {
+    const double yv = vmax * t / 4.0;
+    const double yy = kMarginT + (1.0 - yv / vmax) * plot_h;
+    out += "  <line x1=\"" + fmt_num(kMarginL) + "\" y1=\"" + fmt_num(yy) +
+           "\" x2=\"" + fmt_num(kMarginL + plot_w) + "\" y2=\"" +
+           fmt_num(yy) + "\" class=\"grid\"/>\n";
+    svg_text(out, kMarginL - 8, yy + 4, "tick", "end", fmt_num(yv));
+  }
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    const double h = buckets[i] / vmax * plot_h;
+    const double x = kMarginL + static_cast<double>(i) * slot + 1.0;
+    const double y = kMarginT + plot_h - h;
+    std::string label(i < bounds.size() ? "≤" : ">");
+    label += fmt_num(i < bounds.size()
+                         ? bounds[i]
+                         : (bounds.empty() ? 0.0 : bounds.back()));
+    out += "  <rect x=\"" + fmt_num(x) + "\" y=\"" + fmt_num(y) +
+           "\" width=\"" + fmt_num(slot - 2.0) + "\" height=\"" +
+           fmt_num(std::max(h, buckets[i] > 0 ? 1.0 : 0.0)) +
+           "\" rx=\"4\" fill=\"var(--s1)\"><title>" + label + ": " +
+           fmt_num(buckets[i]) + " cells</title></rect>\n";
+    svg_text(out, x + (slot - 2.0) / 2.0, kMarginT + plot_h + 18, "tick",
+             "middle", label);
+  }
+  svg_text(out, kMarginL + plot_w / 2.0, kChartH - 4, "axis", "middle",
+           x_label);
+  out += "</svg>\n";
+  return out;
+}
+
+std::string legend(const std::vector<Series>& series) {
+  std::string out = "<div class=\"legend\">";
+  for (const Series& s : series) {
+    out += "<span class=\"key\"><span class=\"swatch\" style=\"background:" +
+           s.color + "\"></span>" + html_escape(s.label) + "</span>";
+  }
+  out += "</div>\n";
+  return out;
+}
+
+std::string note(const std::string& text) {
+  return "<p class=\"note\">" + html_escape(text) + "</p>\n";
+}
+
+// ---------------------------------------------------------------------------
+// Section builders — each degrades to a note when its payload is absent
+// or unparseable.
+
+std::string phase_timing_section(const std::string& trace_json) {
+  std::string out = "<section><h2>Per-phase timing</h2>\n";
+  if (trace_json.empty()) return out + note("trace not captured") + "</section>\n";
+  std::string err;
+  const auto doc = json_parse(trace_json, &err);
+  const JsonValue* events = doc ? doc->find("traceEvents") : nullptr;
+  if (events == nullptr || !events->is_array()) {
+    return out + note("could not parse trace: " + err) + "</section>\n";
+  }
+  // Sum wall time per span name; drop the whole-run umbrella span so the
+  // bars show phases, not the total.
+  std::map<std::string, double> totals;
+  std::map<std::string, std::size_t> counts;
+  for (const JsonValue& ev : events->items) {
+    const JsonValue* name = ev.find("name");
+    const JsonValue* dur = ev.find("dur");
+    if (name == nullptr || dur == nullptr) continue;
+    totals[name->raw] += dur->number / 1000.0;  // us -> ms
+    ++counts[name->raw];
+  }
+  totals.erase("engine.run");
+  if (totals.empty()) return out + note("no spans in trace") + "</section>\n";
+  std::vector<std::pair<std::string, double>> rows(totals.begin(),
+                                                   totals.end());
+  std::sort(rows.begin(), rows.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  if (rows.size() > 12) rows.resize(12);
+  for (auto& [name, total] : rows) {
+    name += " (" + std::to_string(counts[name]) + "x)";
+  }
+  return out + hbar_chart(rows, "ms") + "</section>\n";
+}
+
+std::string detection_quality_section(const std::string& events_jsonl) {
+  std::string out = "<section><h2>Detection quality over rounds</h2>\n";
+  if (events_jsonl.empty()) {
+    return out + note("event log not captured") + "</section>\n";
+  }
+  const auto rows = jsonl_parse(events_jsonl);
+  Series hard_p{"hard precision", "var(--s1)", {}};
+  Series hard_r{"hard recall", "var(--s2)", {}};
+  Series soft_p{"soft precision", "var(--s3)", {}};
+  Series soft_r{"soft recall", "var(--s4)", {}};
+  for (const JsonValue& ev : rows) {
+    const JsonValue* kind = ev.find("kind");
+    const JsonValue* fields = ev.find("fields");
+    if (kind == nullptr || fields == nullptr) continue;
+    const JsonValue* it = fields->find("iteration");
+    if (it == nullptr) continue;
+    const auto push = [&](Series& s, const char* key) {
+      if (const JsonValue* v = fields->find(key)) {
+        s.pts.emplace_back(it->number, v->number);
+      }
+    };
+    if (kind->raw == "fault-detected") {
+      push(hard_p, "precision");
+      push(hard_r, "recall");
+    } else if (kind->raw == "soft-classified") {
+      push(soft_p, "soft_precision");
+      push(soft_r, "soft_recall");
+    }
+  }
+  std::vector<Series> series;
+  for (Series* s : {&hard_p, &hard_r, &soft_p, &soft_r}) {
+    if (!s->pts.empty()) series.push_back(std::move(*s));
+  }
+  if (series.empty()) {
+    return out + note("no detection events in log") + "</section>\n";
+  }
+  return out + legend(series) + line_chart(series, "iteration", 1.0) +
+         "</section>\n";
+}
+
+std::string accuracy_section(const std::string& timeseries_jsonl) {
+  std::string out = "<section><h2>Evaluation accuracy</h2>\n";
+  if (timeseries_jsonl.empty()) {
+    return out + note("timeseries not captured") + "</section>\n";
+  }
+  Series acc{"eval accuracy", "var(--s1)", {}};
+  for (const JsonValue& sample : jsonl_parse(timeseries_jsonl)) {
+    const JsonValue* it = sample.find("iteration");
+    const JsonValue* metrics = sample.find("metrics");
+    const JsonValue* m =
+        metrics != nullptr ? metrics->find("engine.eval_accuracy") : nullptr;
+    const JsonValue* v = m != nullptr ? m->find("value") : nullptr;
+    if (it != nullptr && v != nullptr) {
+      acc.pts.emplace_back(it->number, v->number);
+    }
+  }
+  if (acc.pts.empty()) {
+    return out + note("engine.eval_accuracy not present in timeseries") +
+           "</section>\n";
+  }
+  return out + line_chart({acc}, "iteration", 1.0) + "</section>\n";
+}
+
+std::string wear_section(const std::string& metrics_json,
+                         std::string* metrics_table_out) {
+  std::string out = "<section><h2>Cell wear</h2>\n";
+  std::string table =
+      "<section><h2>Metrics catalogue</h2>\n<table><thead><tr>"
+      "<th>name</th><th>type</th><th>unit</th><th>value</th>"
+      "<th>count</th><th>p50</th><th>p95</th><th>p99</th></tr></thead>"
+      "<tbody>\n";
+  if (metrics_json.empty()) {
+    *metrics_table_out = "<section><h2>Metrics catalogue</h2>\n" +
+                         note("metrics not captured") + "</section>\n";
+    return out + note("metrics not captured") + "</section>\n";
+  }
+  std::string err;
+  const auto doc = json_parse(metrics_json, &err);
+  const JsonValue* metrics = doc ? doc->find("metrics") : nullptr;
+  if (metrics == nullptr || !metrics->is_array()) {
+    *metrics_table_out = "<section><h2>Metrics catalogue</h2>\n" +
+                         note("could not parse metrics: " + err) +
+                         "</section>\n";
+    return out + note("could not parse metrics: " + err) + "</section>\n";
+  }
+  std::string wear_chart = note("store.wear_writes not present in metrics");
+  for (const JsonValue& m : metrics->items) {
+    const JsonValue* name = m.find("name");
+    if (name == nullptr) continue;
+    const auto cell = [&](const char* key) {
+      const JsonValue* v = m.find(key);
+      return v != nullptr ? html_escape(v->display()) : std::string("");
+    };
+    table += "<tr><td>" + html_escape(name->raw) + "</td><td>" +
+             cell("type") + "</td><td>" + cell("unit") + "</td><td>" +
+             cell("value") + "</td><td>" + cell("count") + "</td><td>" +
+             cell("p50") + "</td><td>" + cell("p95") + "</td><td>" +
+             cell("p99") + "</td></tr>\n";
+    if (name->raw == "store.wear_writes") {
+      const JsonValue* bounds = m.find("bounds");
+      const JsonValue* buckets = m.find("buckets");
+      if (bounds != nullptr && buckets != nullptr && bounds->is_array() &&
+          buckets->is_array()) {
+        std::vector<double> bs, cs;
+        for (const JsonValue& b : bounds->items) bs.push_back(b.number);
+        for (const JsonValue& c : buckets->items) cs.push_back(c.number);
+        wear_chart = histogram_chart(bs, cs, "writes per cell");
+      }
+    }
+  }
+  *metrics_table_out = table + "</tbody></table></section>\n";
+  return out + wear_chart + "</section>\n";
+}
+
+std::string events_section(const std::string& events_jsonl) {
+  std::string out = "<section><h2>Event log</h2>\n";
+  if (events_jsonl.empty()) {
+    return out + note("event log not captured") + "</section>\n";
+  }
+  const auto rows = jsonl_parse(events_jsonl);
+  if (rows.empty()) return out + note("event log is empty") + "</section>\n";
+  constexpr std::size_t kMaxRows = 250;
+  out +=
+      "<table><thead><tr><th>seq</th><th>t (ns)</th><th>kind</th>"
+      "<th>severity</th><th>detail</th><th>fields</th></tr></thead><tbody>\n";
+  const std::size_t shown = std::min(rows.size(), kMaxRows);
+  for (std::size_t i = 0; i < shown; ++i) {
+    const JsonValue& ev = rows[i];
+    const auto cell = [&](const char* key) {
+      const JsonValue* v = ev.find(key);
+      return v != nullptr ? html_escape(v->display()) : std::string("");
+    };
+    std::string fields;
+    if (const JsonValue* f = ev.find("fields")) {
+      for (const auto& [k, v] : f->members) {
+        if (!fields.empty()) fields += ", ";
+        fields += html_escape(k) + "=" + html_escape(v.display());
+      }
+    }
+    const std::string sev = cell("severity");
+    out += "<tr><td>" + cell("seq") + "</td><td>" + cell("t_ns") +
+           "</td><td>" + cell("kind") + "</td><td class=\"sev-" + sev +
+           "\">" + sev + "</td><td>" + cell("detail") + "</td><td>" + fields +
+           "</td></tr>\n";
+  }
+  out += "</tbody></table>\n";
+  if (rows.size() > shown) {
+    out += note("showing first " + std::to_string(shown) + " of " +
+                std::to_string(rows.size()) + " events (full log embedded)");
+  }
+  return out + "</section>\n";
+}
+
+std::string embed_payload(const std::string& id, const std::string& payload) {
+  return "<script type=\"application/json\" id=\"" + id + "\">" +
+         (payload.empty() ? std::string("null")
+                          : script_embed_escape(payload)) +
+         "</script>\n";
+}
+
+// Palette and surfaces from the repo dataviz conventions: light/dark
+// surface pairs, ink tokens for all text, series slots s1..s4.
+const char kStyle[] = R"css(
+:root {
+  --surface: #fcfcfb; --ink: #0b0b0b; --ink2: #52514e; --muted: #898781;
+  --grid: #e1e0d9;
+  --s1: #2a78d6; --s2: #eb6834; --s3: #1baf7a; --s4: #eda100;
+}
+@media (prefers-color-scheme: dark) {
+  :root {
+    --surface: #1a1a19; --ink: #ffffff; --ink2: #c3c2b7; --muted: #898781;
+    --grid: #2c2c2a;
+    --s1: #3987e5; --s2: #d95926; --s3: #199e70; --s4: #c98500;
+  }
+}
+body { background: var(--surface); color: var(--ink);
+  font: 14px/1.5 system-ui, sans-serif; max-width: 760px;
+  margin: 2rem auto; padding: 0 1rem; }
+h1 { font-size: 1.4rem; } h2 { font-size: 1.05rem; margin-top: 2rem; }
+.chart { width: 100%; height: auto; }
+.grid { stroke: var(--grid); stroke-width: 1; }
+.tick { fill: var(--muted); font-size: 11px; }
+.axis { fill: var(--ink2); font-size: 12px; }
+.vlabel { fill: var(--ink2); font-size: 11px; }
+.slabel { font-size: 12px; }
+.note { color: var(--muted); font-style: italic; }
+.legend { margin: 0.4rem 0; }
+.key { margin-right: 1.2rem; color: var(--ink2); font-size: 12px; }
+.swatch { display: inline-block; width: 10px; height: 10px;
+  border-radius: 2px; margin-right: 0.35rem; }
+table { border-collapse: collapse; width: 100%; font-size: 12px; }
+th { text-align: left; color: var(--ink2); border-bottom: 1px solid var(--grid);
+  padding: 3px 8px 3px 0; }
+td { border-bottom: 1px solid var(--grid); padding: 3px 8px 3px 0; }
+.sev-warn { color: var(--s4); } .sev-error { color: var(--s2); }
+)css";
+
+}  // namespace
+
+std::string generate_report_html(const ReportInputs& inputs,
+                                 const std::string& title) {
+  std::string metrics_table;
+  const std::string wear = wear_section(inputs.metrics_json, &metrics_table);
+
+  std::string out = "<!doctype html>\n<html lang=\"en\">\n<head>\n";
+  out += "<meta charset=\"utf-8\">\n";
+  out += "<meta name=\"viewport\" content=\"width=device-width, "
+         "initial-scale=1\">\n";
+  out += "<title>" + html_escape(title) + "</title>\n";
+  out += "<style>" + std::string(kStyle) + "</style>\n</head>\n<body>\n";
+  out += "<h1>" + html_escape(title) + "</h1>\n";
+  out += note("self-contained run report generated by refit_report; raw "
+              "payloads are embedded as application/json blocks");
+  out += phase_timing_section(inputs.trace_json);
+  out += detection_quality_section(inputs.events_jsonl);
+  out += accuracy_section(inputs.timeseries_jsonl);
+  out += wear;
+  out += events_section(inputs.events_jsonl);
+  out += metrics_table;
+  out += embed_payload("refit-trace", inputs.trace_json);
+  out += embed_payload("refit-metrics", inputs.metrics_json);
+  out += embed_payload("refit-timeseries", inputs.timeseries_jsonl);
+  out += embed_payload("refit-events", inputs.events_jsonl);
+  out += "</body>\n</html>\n";
+  return out;
+}
+
+}  // namespace refit::tools

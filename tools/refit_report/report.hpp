@@ -1,0 +1,29 @@
+// refit-report: offline HTML run-report generator (docs/tooling.md,
+// docs/observability.md). Merges the four observability artifacts a run
+// can produce — Chrome trace JSON, metrics catalogue JSON, timeseries
+// JSONL, event-log JSONL — into one self-contained HTML dashboard: no
+// external scripts or stylesheets, charts are inline SVG computed here,
+// and the raw payloads are embedded in <script type="application/json">
+// blocks so downstream tooling can re-extract them from the report.
+#pragma once
+
+#include <string>
+
+namespace refit::tools {
+
+/// Raw artifact text, exactly as read from disk. An empty string means
+/// "not captured": the report renders the section header with a note
+/// instead of a chart, and embeds `null` for that payload.
+struct ReportInputs {
+  std::string trace_json;       // Tracer::write_chrome_json output
+  std::string metrics_json;     // MetricsRegistry::write_json output
+  std::string timeseries_jsonl; // TimeseriesRecorder::write_jsonl output
+  std::string events_jsonl;     // EventLog::write_jsonl output
+};
+
+/// Render the full dashboard. Never fails: malformed payloads degrade to
+/// a "could not parse" note in the affected section.
+std::string generate_report_html(const ReportInputs& inputs,
+                                 const std::string& title);
+
+}  // namespace refit::tools

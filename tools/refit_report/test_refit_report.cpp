@@ -1,0 +1,120 @@
+// Smoke tests for the HTML run-report generator (report.hpp): the output
+// must be structurally sound, embed all four payloads retrievably, and
+// degrade gracefully when inputs are missing.
+#include "report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace refit::tools {
+namespace {
+
+std::size_t count_occurrences(const std::string& hay,
+                              const std::string& needle) {
+  std::size_t n = 0;
+  for (std::size_t pos = hay.find(needle); pos != std::string::npos;
+       pos = hay.find(needle, pos + needle.size())) {
+    ++n;
+  }
+  return n;
+}
+
+ReportInputs full_inputs() {
+  ReportInputs in;
+  in.trace_json = R"({"traceEvents":[
+    {"name":"detection","cat":"refit","ph":"X","ts":0,"dur":1200,"pid":1,"tid":0},
+    {"name":"train","cat":"refit","ph":"X","ts":1300,"dur":8400,"pid":1,"tid":0},
+    {"name":"engine.run","cat":"refit","ph":"X","ts":0,"dur":9700,"pid":1,"tid":0}
+  ]})";
+  in.metrics_json = R"({"metrics":[
+    {"name":"engine.iterations","type":"counter","unit":"iters","value":6},
+    {"name":"store.wear_writes","type":"histogram","unit":"writes","count":64,
+     "sum":640,"p50":9,"p95":48,"p99":90,
+     "bounds":[1,10,100,1000],"buckets":[10,40,14,0,0]}
+  ]})";
+  in.timeseries_jsonl =
+      "{\"seq\":0,\"t_ns\":1000,\"iteration\":1,\"metrics\":{"
+      "\"engine.eval_accuracy\":{\"value\":0.82}}}\n"
+      "{\"seq\":1,\"t_ns\":2000,\"iteration\":2,\"metrics\":{"
+      "\"engine.eval_accuracy\":{\"value\":0.91}}}\n";
+  in.events_jsonl =
+      "{\"seq\":0,\"t_ns\":1000,\"kind\":\"fault-detected\",\"severity\":"
+      "\"info\",\"detail\":\"detection\",\"fields\":{\"iteration\":1,"
+      "\"precision\":0.9,\"recall\":0.8}}\n"
+      "{\"seq\":1,\"t_ns\":2000,\"kind\":\"soft-classified\",\"severity\":"
+      "\"info\",\"detail\":\"detection\",\"fields\":{\"iteration\":1,"
+      "\"soft_precision\":0.7,\"soft_recall\":0.6}}\n"
+      "{\"seq\":2,\"t_ns\":3000,\"kind\":\"remap\",\"severity\":\"warn\","
+      "\"detail\":\"remap\",\"fields\":{\"iteration\":2,\"cost_after\":3}}\n";
+  return in;
+}
+
+TEST(Report, EmbedsAllFourPayloadsAndRendersCharts) {
+  const std::string html = generate_report_html(full_inputs(), "test run");
+  for (const char* id :
+       {"refit-trace", "refit-metrics", "refit-timeseries", "refit-events"}) {
+    EXPECT_NE(html.find("id=\"" + std::string(id) + "\""), std::string::npos)
+        << id;
+  }
+  // Structurally sound: tags balance, payload script blocks all typed.
+  EXPECT_EQ(count_occurrences(html, "<script"),
+            count_occurrences(html, "</script>"));
+  EXPECT_EQ(count_occurrences(html, "<script"),
+            count_occurrences(html, "type=\"application/json\""));
+  EXPECT_EQ(count_occurrences(html, "<svg"),
+            count_occurrences(html, "</svg>"));
+  EXPECT_EQ(count_occurrences(html, "<section>"),
+            count_occurrences(html, "</section>"));
+  // All four chart kinds made it: phase bars, p/r lines, accuracy, wear.
+  EXPECT_GE(count_occurrences(html, "<svg"), 4u);
+  EXPECT_NE(html.find("hard precision"), std::string::npos);
+  EXPECT_NE(html.find("soft recall"), std::string::npos);
+  EXPECT_NE(html.find("eval accuracy"), std::string::npos);
+  EXPECT_NE(html.find("writes per cell"), std::string::npos);
+  // The umbrella span is excluded from the phase bars.
+  EXPECT_EQ(html.find("engine.run ("), std::string::npos);
+  // Events table carries the severity class for the remap warning.
+  EXPECT_NE(html.find("sev-warn"), std::string::npos);
+}
+
+TEST(Report, EscapesScriptCloserInEmbeddedPayloads) {
+  ReportInputs in;
+  in.events_jsonl = "{\"detail\":\"</script><b>bad\"}\n";
+  const std::string html = generate_report_html(in, "t");
+  // The raw closer must not survive inside the embed block; the escaped
+  // form must.
+  EXPECT_EQ(html.find("</script><b>bad"), std::string::npos);
+  EXPECT_NE(html.find("<\\/script><b>bad"), std::string::npos);
+  EXPECT_EQ(count_occurrences(html, "<script"),
+            count_occurrences(html, "</script>"));
+}
+
+TEST(Report, MissingInputsDegradeToNotCaptured) {
+  const std::string html = generate_report_html(ReportInputs{}, "empty");
+  EXPECT_GE(count_occurrences(html, "not captured"), 4u);
+  // Empty payloads embed as null, ids still present for tooling.
+  EXPECT_EQ(count_occurrences(html, ">null</script>"), 4u);
+  EXPECT_EQ(count_occurrences(html, "<section>"),
+            count_occurrences(html, "</section>"));
+}
+
+TEST(Report, MalformedPayloadDegradesWithoutCrashing) {
+  ReportInputs in;
+  in.trace_json = "{\"traceEvents\": oops";
+  in.metrics_json = "[not an object]";
+  const std::string html = generate_report_html(in, "bad");
+  EXPECT_NE(html.find("could not parse"), std::string::npos);
+  EXPECT_NE(html.find("id=\"refit-trace\""), std::string::npos);
+}
+
+TEST(Report, TitleIsHtmlEscaped) {
+  const std::string html =
+      generate_report_html(ReportInputs{}, "<b>run & done</b>");
+  EXPECT_EQ(html.find("<b>run"), std::string::npos);
+  EXPECT_NE(html.find("&lt;b&gt;run &amp; done&lt;/b&gt;"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace refit::tools
